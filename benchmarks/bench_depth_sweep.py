@@ -1,0 +1,73 @@
+"""Depth_q sweep: the Sec. V-A tradeoff between area and stalls.
+
+Sweeps the premature-queue depth on the kernels where the queue actually
+fills (gaussian: all five member operations are conditional, so entries
+wait on the laggard side).  Reproduces the paper's observation that "when
+the premature queue depth is too small, it fills up quickly, causing
+backpressure to the arbiter and leading to pipeline stalls", while a
+carefully chosen depth removes the timing cost — and checks the analytic
+matched-depth model (Eqs. 6-7) lands inside the sweep's flat region.
+"""
+
+import pytest
+
+from repro.analysis import matched_depth
+from repro.area import circuit_report
+from repro.config import HardwareConfig
+from repro.eval import run_kernel
+from repro.kernels import get_kernel
+
+DEPTHS = [2, 4, 8, 16, 64]
+
+
+def sweep(kernel_name, sizes, depths=DEPTHS):
+    results = {}
+    for depth in depths:
+        cfg = HardwareConfig(
+            name=f"prevv{depth}", memory_style="prevv", prevv_depth=depth
+        )
+        kernel = get_kernel(kernel_name, **sizes.get(kernel_name, {}))
+        result = run_kernel(kernel, cfg, max_cycles=2_000_000,
+                            keep_build=True)
+        assert result.verified, f"{kernel_name}@depth{depth} wrong result"
+        luts = circuit_report(result.build.circuit).total.luts
+        results[depth] = (result.cycles, result.queue_full_stalls, luts)
+    return results
+
+
+@pytest.mark.benchmark(group="depth-sweep")
+def test_depth_sweep_gaussian(benchmark, bench_kernel_sizes):
+    results = benchmark.pedantic(
+        sweep, args=("gaussian", bench_kernel_sizes), rounds=1, iterations=1
+    )
+    print(f"\n{'depth':>6}{'cycles':>10}{'full-stalls':>13}{'LUT':>10}")
+    for depth, (cycles, stalls, luts) in sorted(results.items()):
+        print(f"{depth:>6}{cycles:>10}{stalls:>13}{luts:>10.0f}")
+    cycles = {d: c for d, (c, _, _) in results.items()}
+    stalls = {d: s for d, (_, s, _) in results.items()}
+    luts = {d: l for d, (_, _, l) in results.items()}
+    # Small depths stall (queue-full pressure), large depths don't.
+    assert stalls[2] > stalls[64]
+    assert cycles[2] >= cycles[64]
+    # Area grows monotonically with depth: the paper's tradeoff.
+    assert luts[2] < luts[16] < luts[64]
+    # The analytic matched depth (Eqs. 6-7) sits in the no-stall region.
+    depth_star = matched_depth(t_org=3.0, p_squash=0.02, t_token=90.0)
+    assert cycles.get(depth_star, cycles[16]) <= cycles[2]
+
+
+@pytest.mark.benchmark(group="depth-sweep")
+def test_depth_sweep_triangular(benchmark, bench_kernel_sizes):
+    results = benchmark.pedantic(
+        sweep,
+        args=("triangular", bench_kernel_sizes),
+        kwargs={"depths": [2, 8, 64]},
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n{'depth':>6}{'cycles':>10}{'full-stalls':>13}{'LUT':>10}")
+    for depth, (cycles, stalls, luts) in sorted(results.items()):
+        print(f"{depth:>6}{cycles:>10}{stalls:>13}{luts:>10.0f}")
+    # Correctness holds at every depth; pressure decreases with depth.
+    stalls = {d: s for d, (_, s, _) in results.items()}
+    assert stalls[2] >= stalls[8] >= stalls[64]

@@ -1,0 +1,99 @@
+"""Scalability ablation: naive per-pair duplication vs the Sec. V-B
+dimension reduction (Eqs. 11-12).
+
+The paper argues that instantiating one PreVV per ambiguous pair blows up
+as ``Com_n = 2^n Com_1`` when an operation belongs to ``n`` pairs, while
+collapsing overlapped pairs into one shared unit keeps cost linear.  We
+measure both on synthetic kernels with a growing chain of overlapped
+accesses, using the real analysis + area model for the reduced design and
+Eq. (11) for the hypothetical naive one.
+"""
+
+import pytest
+
+from repro.analysis import (
+    analyze_function,
+    max_pairs_per_op,
+    naive_complexity,
+    reduce_pairs,
+    reduced_complexity,
+)
+from repro.area import circuit_report, component_cost
+from repro.compile import compile_function
+from repro.config import HardwareConfig
+from repro.ir import Function, IRBuilder
+from repro.kernels import NestBuilder
+
+PREVV = HardwareConfig(name="prevv", memory_style="prevv", prevv_depth=16)
+
+
+def chain_kernel(n_ops: int) -> Function:
+    """A loop whose body makes ``n_ops`` interleaved load/store accesses to
+    one array at data-dependent offsets: every load pairs with every store."""
+    fn = Function(f"chain{n_ops}")
+    b = IRBuilder(fn)
+    n = b.arg("n")
+    a = b.array("a", 256)
+    idx = b.array("idx", 64)
+    b.at(b.block("entry"))
+    nest = NestBuilder(b)
+    i = nest.open_loop("i", n).iv
+    base = b.load(idx, i, name="base")
+    for k in range(n_ops):
+        addr = b.add(base, k, name=f"addr{k}")
+        value = b.load(a, addr, name=f"v{k}")
+        b.store(a, addr, b.add(value, 1))
+    nest.close_loop()
+    b.ret()
+    return fn
+
+
+def measure(n_ops_list):
+    rows = []
+    for n_ops in n_ops_list:
+        fn = chain_kernel(n_ops)
+        analysis = analyze_function(fn)
+        groups = reduce_pairs(analysis)
+        build = compile_function(chain_kernel(n_ops), PREVV, args={"n": 8})
+        unit_luts = sum(
+            component_cost(u).luts for u in build.units
+        )
+        pairs_per_op = max_pairs_per_op(analysis)
+        com_1 = unit_luts / max(1, len(groups))
+        rows.append(
+            {
+                "n_ops": n_ops,
+                "pairs": len(analysis.pairs),
+                "groups": len(groups),
+                "pairs_per_op": pairs_per_op,
+                "reduced_luts": unit_luts,
+                "naive_luts": naive_complexity(pairs_per_op, com_1),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_scalability_reduction(benchmark):
+    rows = benchmark.pedantic(
+        measure, args=([1, 2, 3, 4],), rounds=1, iterations=1
+    )
+    header = (
+        f"{'ops':>4}{'pairs':>7}{'groups':>8}{'pairs/op':>10}"
+        f"{'reduced LUT':>13}{'naive LUT (Eq.11)':>19}"
+    )
+    print("\n" + header)
+    for r in rows:
+        print(
+            f"{r['n_ops']:>4}{r['pairs']:>7}{r['groups']:>8}"
+            f"{r['pairs_per_op']:>10}{r['reduced_luts']:>13.0f}"
+            f"{r['naive_luts']:>19.0f}"
+        )
+    # Overlapped pairs collapse into a single group per array...
+    for r in rows:
+        assert r["groups"] == 1
+    # ...so reduced cost grows ~linearly while Eq. (11) explodes.
+    first, last = rows[0], rows[-1]
+    reduced_growth = last["reduced_luts"] / first["reduced_luts"]
+    naive_growth = last["naive_luts"] / first["naive_luts"]
+    assert naive_growth > 4 * reduced_growth

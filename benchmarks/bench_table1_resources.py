@@ -1,0 +1,43 @@
+"""Regenerate Table I: LUT/FF usage of [15], [8], PreVV16 and PreVV64.
+
+Resource estimation needs only circuit construction (no simulation), so
+this benchmark always runs at the paper-scale kernel sizes.  It prints
+the regenerated table next to the paper's cells and asserts the headline
+claims: PreVV16 and PreVV64 reduce LUT/FF versus the fast LSQ [8] with
+geomeans in the neighbourhood of the paper's -43.75%/-26.45% (LUT) and
+-44.70%/-33.54% (FF).
+"""
+
+import pytest
+
+from repro.eval import PAPER_TABLE1, format_table1, geomean, table1
+
+
+def _geomean_ratio(rows, metric, config, base="fast_lsq"):
+    return geomean(
+        [getattr(r, metric)[config] / getattr(r, metric)[base] for r in rows]
+    )
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_resources(benchmark):
+    rows = benchmark.pedantic(table1, rounds=1, iterations=1)
+    print("\n" + format_table1(rows))
+    print("\npaper cells for comparison:")
+    for kernel, cells in PAPER_TABLE1.items():
+        print(f"  {kernel:12s} " + "  ".join(
+            f"{cfg}:LUT={lut},FF={ff}" for cfg, (lut, ff) in cells.items()
+        ))
+
+    lut16 = _geomean_ratio(rows, "luts", "prevv16")
+    lut64 = _geomean_ratio(rows, "luts", "prevv64")
+    ff16 = _geomean_ratio(rows, "ffs", "prevv16")
+    ff64 = _geomean_ratio(rows, "ffs", "prevv64")
+    # Paper: -43.75% / -26.45% (LUT), -44.70% / -33.54% (FF).
+    assert 0.45 < lut16 < 0.70, f"PreVV16 LUT ratio {lut16:.3f}"
+    assert 0.60 < lut64 < 0.85, f"PreVV64 LUT ratio {lut64:.3f}"
+    assert 0.45 < ff16 < 0.70, f"PreVV16 FF ratio {ff16:.3f}"
+    assert 0.55 < ff64 < 0.80, f"PreVV64 FF ratio {ff64:.3f}"
+    # PreVV64 costs more than PreVV16 (the tradeoff knob), both below [8].
+    for row in rows:
+        assert row.luts["prevv16"] < row.luts["prevv64"] < row.luts["fast_lsq"]

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Bring your own kernel: write IR, analyze it, pick a queue depth, run it.
+
+Walks the full public API surface on a fresh kernel (sparse gather-update,
+``acc[col[i]] += val[i] * x[row[i]]`` — the inner loop of a sparse
+matrix-vector product with output accumulation):
+
+  1. build the IR with :class:`~repro.ir.IRBuilder` / NestBuilder;
+  2. verify it and run the golden interpreter;
+  3. inspect the memory-dependence analysis (ambiguous pairs, groups);
+  4. size the premature queue with the Sec. V-A matched-depth model;
+  5. compile + simulate under PreVV and check the result.
+
+    python examples/custom_kernel.py
+"""
+
+from repro.analysis import analyze_function, matched_depth, reduce_pairs
+from repro.compile import compile_function
+from repro.config import HardwareConfig
+from repro.eval import run_kernel
+from repro.ir import Function, IRBuilder, run_golden, verify_function
+from repro.kernels import Kernel, NestBuilder, lcg_values
+
+
+def build_sparse_update(kernel: Kernel) -> Function:
+    n = kernel.args["n"]
+    rows = kernel.args["rows"]
+    fn = Function("sparse_update")
+    b = IRBuilder(fn)
+    n_arg = b.arg("n")
+    col = b.array("col", n)
+    row = b.array("row", n)
+    val = b.array("val", n)
+    x = b.array("x", rows)
+    acc = b.array("acc", rows)
+    b.at(b.block("entry"))
+    nest = NestBuilder(b)
+    i = nest.open_loop("i", n_arg).iv
+    contrib = b.mul(b.load(val, i), b.load(x, b.load(row, i)), name="contrib")
+    c = b.load(col, i, name="c")
+    b.store(acc, c, b.add(b.load(acc, c), contrib))
+    nest.close_loop()
+    b.ret()
+    return fn
+
+
+def main() -> None:
+    n, rows = 48, 12
+    kernel = Kernel(
+        name="sparse_update",
+        description="acc[col[i]] += val[i] * x[row[i]]",
+        builder=build_sparse_update,
+        args={"n": n, "rows": rows},
+        memory_init={
+            "col": lcg_values(n, seed=101, lo=0, hi=rows - 1),
+            "row": lcg_values(n, seed=103, lo=0, hi=rows - 1),
+            "val": lcg_values(n, seed=107, lo=1, hi=9),
+            "x": lcg_values(rows, seed=109, lo=1, hi=9),
+        },
+    )
+
+    fn = kernel.build_ir()
+    verify_function(fn)
+    golden = run_golden(fn, args=kernel.args, memory=kernel.memory_init)
+    print("golden acc:", golden.memory["acc"])
+
+    analysis = analyze_function(fn)
+    groups = reduce_pairs(analysis)
+    print(f"\nambiguous pairs: {len(analysis.pairs)} "
+          f"(indirect subscripts are non-affine -> may-conflict)")
+    print(f"conflicted arrays: {sorted(analysis.conflicted_arrays)}")
+    print(f"validation groups: {len(groups)}")
+
+    # Size the queue: short pipeline (t_org ~3 cycles), rare collisions.
+    depth = matched_depth(t_org=3.0, p_squash=0.05, t_token=40.0)
+    print(f"matched queue depth (Eqs. 6-7): {depth}")
+
+    config = HardwareConfig(
+        name=f"prevv{depth}", memory_style="prevv", prevv_depth=depth
+    )
+    result = run_kernel(kernel, config)
+    print(
+        f"\nsimulated: {result.cycles} cycles, verified={result.verified}, "
+        f"squashes={result.squashes}, benign reorders={result.benign_reorders}"
+    )
+    assert result.verified
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fig. 6 live demo: conditional pairs deadlock without fake tokens.
+
+The triangular solver's PreVV member operations all sit inside if-blocks
+(``j < i`` guards the x-load, ``j == n-1`` guards the x-store).  On
+not-taken iterations the arbiter would wait forever for the missing side;
+the paper's fix sends a 'fake' token down the skip path.  This script
+runs the kernel twice — fakes enabled and surgically disabled — and shows
+the deadlock diagnosis the simulator produces for the latter.
+
+    python examples/deadlock_fake_tokens.py
+"""
+
+from repro.compile import compile_function
+from repro.config import HardwareConfig
+from repro.dataflow import Simulator
+from repro.errors import DeadlockError, SimulationError
+from repro.eval import make_done_condition
+from repro.kernels import get_kernel
+from repro.prevv import FakeTokenGenerator
+
+PREVV = HardwareConfig(name="prevv8", memory_style="prevv", prevv_depth=8)
+
+
+def run(disable_fakes: bool):
+    kernel = get_kernel("triangular", n=16)
+    build = compile_function(kernel.build_ir(), PREVV, args=kernel.args)
+    build.memory.initialize(kernel.memory_init)
+    if disable_fakes:
+        for comp in build.circuit.components:
+            if isinstance(comp, FakeTokenGenerator):
+                comp.propagate = lambda: None
+    sim = Simulator(build.circuit, max_cycles=30_000, deadlock_window=256)
+    sim.end_of_cycle_hooks.append(build.squash_controller.end_of_cycle)
+    sim.run(make_done_condition(build))
+    return build, sim
+
+
+def main() -> None:
+    print("1) fake tokens ENABLED (the paper's Sec. V-C design)")
+    build, sim = run(disable_fakes=False)
+    fakes = sum(u.fake_tokens for u in build.units)
+    golden = get_kernel("triangular", n=16).golden()
+    ok = build.memory.snapshot()["x"] == golden.memory["x"]
+    print(
+        f"   completed in {sim.stats.cycles} cycles, verified={ok}, "
+        f"{fakes} fake tokens retired skipped iterations\n"
+    )
+
+    print("2) fake tokens DISABLED (the Fig. 6 failure mode)")
+    try:
+        run(disable_fakes=True)
+        print("   unexpectedly completed?!")
+    except (DeadlockError, SimulationError) as exc:
+        message = str(exc)
+        print(f"   {type(exc).__name__}: {message[:180]}...")
+        print(
+            "\n   The premature queue filled with one side of the pair and "
+            "the arbiter\n   starved waiting for the other — exactly the "
+            "deadlock Fig. 6 describes."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The paper's Fig. 2 hazard examples, end to end.
+
+Builds both RAW-hazard shapes from Fig. 2 — the sequential-update form
+(a) and the function-dependent form (b) whose subscripts are only known
+at runtime — shows what the dependence analysis concludes about them,
+and simulates each under PreVV, printing the validation traffic.
+
+    python examples/hazards_fig2.py
+"""
+
+from repro.analysis import analyze_function, reduce_pairs
+from repro.config import HardwareConfig
+from repro.eval import run_kernel
+from repro.ir import print_function
+from repro.kernels import get_kernel
+
+PREVV = HardwareConfig(name="prevv16", memory_style="prevv", prevv_depth=16)
+
+
+def show(kernel_name: str) -> None:
+    kernel = get_kernel(kernel_name)
+    fn = kernel.build_ir()
+    print("=" * 70)
+    print(f"{kernel.name}: {kernel.description}\n")
+    print(print_function(fn))
+
+    analysis = analyze_function(fn)
+    groups = reduce_pairs(analysis)
+    print(f"\nambiguous pairs (Definition 1): {len(analysis.pairs)}")
+    for pair in analysis.pairs:
+        print(f"  Am{{{pair.load.name}, {pair.store.name}}} on @{pair.array}")
+    print(f"validation groups after Sec. V-B reduction: {len(groups)}")
+    for group in groups:
+        print(
+            f"  @{group.array}: {len(group.loads)} loads + "
+            f"{len(group.stores)} stores share one premature queue"
+        )
+
+    result = run_kernel(kernel, PREVV)
+    print(
+        f"\nsimulated under PreVV16: {result.cycles} cycles, "
+        f"verified={result.verified}, squashes={result.squashes}, "
+        f"benign value-equal reorders={result.benign_reorders}"
+    )
+    print()
+
+
+def main() -> None:
+    show("fig2a")
+    show("fig2b")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a kernel with PreVV, simulate it, inspect results.
+
+Runs the histogram kernel (a data-dependent scatter-accumulate with RAW
+hazards on ``hist``) under plain Dynamatic, the fast LSQ and PreVV, and
+prints cycle counts, resource estimates and validation statistics.
+
+    python examples/quickstart.py
+"""
+
+from repro.area import circuit_report, clock_period, execution_time_us
+from repro.config import HardwareConfig
+from repro.eval import run_kernel
+from repro.kernels import get_kernel
+
+
+def main() -> None:
+    kernel = get_kernel("histogram", n=64, buckets=16)
+    print(f"kernel: {kernel.name} — {kernel.description}")
+    print(f"args:   {kernel.args}\n")
+
+    header = (
+        f"{'config':<12}{'cycles':>8}{'CP(ns)':>8}{'time(us)':>10}"
+        f"{'LUT':>8}{'FF':>8}{'squash':>8}{'ok':>4}"
+    )
+    print(header)
+    print("-" * len(header))
+    for style, depth in [("dynamatic", 16), ("fast", 16), ("prevv", 16)]:
+        config = HardwareConfig(
+            name=f"{style}{depth}", memory_style=style, prevv_depth=depth
+        )
+        result = run_kernel(kernel, config, keep_build=True)
+        report = circuit_report(result.build.circuit)
+        period = clock_period(result.build.circuit)
+        print(
+            f"{config.name:<12}{result.cycles:>8}{period:>8.2f}"
+            f"{execution_time_us(result.cycles, period):>10.2f}"
+            f"{report.total.luts:>8.0f}{report.total.ffs:>8.0f}"
+            f"{result.squashes:>8}{'y' if result.verified else 'N':>4}"
+        )
+
+    print("\nFinal histogram matches the golden (sequential) model:")
+    print(" ", result.memory["hist"])
+
+
+if __name__ == "__main__":
+    main()

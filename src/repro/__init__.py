@@ -1,0 +1,17 @@
+"""PreVV reproduction: premature value validation for dataflow circuits.
+
+Reproduces Zou et al., "PreVV: Eliminating Store Queue via Premature Value
+Validation for Dataflow Circuit on FPGA" (DATE 2025) as a pure-Python
+system: a cycle-accurate elastic-circuit simulator, a Dynamatic-style HLS
+flow, LSQ baselines, the PreVV architecture, and an FPGA area/timing model.
+
+Quickstart::
+
+    from repro.kernels import get_kernel
+    from repro.eval import run_kernel, PREVV16
+
+    result = run_kernel(get_kernel("polyn_mult"), PREVV16)
+    print(result.cycles, result.resources.luts)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,56 @@
+"""Memory-dependence analysis: the reproduction's polyhedral front end.
+
+Finds the paper's *ambiguous pairs* (Definition 1), reduces overlapped
+pairs to shared validation groups (Sec. V-B), and models the premature
+queue depth (Sec. V-A, Eqs. 6-10).
+"""
+
+from .polyhedral import (
+    AffineAnalyzer,
+    AffineExpr,
+    Dependence,
+    classify_dependence,
+)
+from .ambiguous_pairs import AmbiguousPair, MemoryAnalysis, analyze_function
+from .reduction import (
+    PreVVGroup,
+    max_pairs_per_op,
+    naive_complexity,
+    naive_frequency,
+    reduce_pairs,
+    reduced_complexity,
+)
+from .sizing import (
+    independent_pairs,
+    is_matched,
+    matched_depth,
+    pair_distance,
+    pair_execution_time,
+    pair_span,
+    suggest_depth,
+    waiting_time,
+)
+
+__all__ = [
+    "AffineAnalyzer",
+    "AffineExpr",
+    "Dependence",
+    "classify_dependence",
+    "AmbiguousPair",
+    "MemoryAnalysis",
+    "analyze_function",
+    "PreVVGroup",
+    "max_pairs_per_op",
+    "naive_complexity",
+    "naive_frequency",
+    "reduce_pairs",
+    "reduced_complexity",
+    "independent_pairs",
+    "is_matched",
+    "matched_depth",
+    "pair_distance",
+    "pair_execution_time",
+    "pair_span",
+    "suggest_depth",
+    "waiting_time",
+]

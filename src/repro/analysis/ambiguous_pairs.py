@@ -1,0 +1,89 @@
+"""Ambiguous-pair extraction (Definition 1) and per-array grouping.
+
+An *ambiguous pair* ``Am{C^m, C^n}`` is a load and a store on the same
+array whose subscripts may conflict across iterations (Sec. III,
+Definition 1).  The extraction runs the affine dependence analysis over
+every (load, store) combination per array.
+
+:func:`analyze_function` returns a :class:`MemoryAnalysis` that the
+compiler uses to decide, per array, whether a plain memory controller
+suffices or an ordering structure (LSQ baseline / PreVV unit) is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..ir.function import Function
+from ..ir.instructions import LoadInst, StoreInst
+from ..ir.loops import Loop, find_loops, innermost_loop_of
+from .polyhedral import AffineAnalyzer, Dependence, classify_dependence
+
+
+@dataclass
+class AmbiguousPair:
+    """Definition 1: a load/store pair that may conflict across iterations."""
+
+    load: LoadInst
+    store: StoreInst
+    array: str
+
+    def shares_op_with(self, other: "AmbiguousPair") -> bool:
+        """Overlap in the sense of Definition 3 (shared component)."""
+        return (
+            self.load is other.load
+            or self.store is other.store
+            or self.load is other.store
+            or self.store is other.load
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Am{{{self.load.name}, {self.store.name}}}@{self.array}"
+
+
+@dataclass
+class MemoryAnalysis:
+    """Per-function disambiguation summary."""
+
+    function: Function
+    pairs: List[AmbiguousPair] = field(default_factory=list)
+    #: arrays with at least one ambiguous pair
+    conflicted_arrays: Set[str] = field(default_factory=set)
+    #: dependence class for every (load, store) combination examined
+    classifications: Dict[tuple, Dependence] = field(default_factory=dict)
+
+    def pairs_for_array(self, array: str) -> List[AmbiguousPair]:
+        return [p for p in self.pairs if p.array == array]
+
+    @property
+    def hazard_free_arrays(self) -> Set[str]:
+        return set(self.function.arrays) - self.conflicted_arrays
+
+
+def analyze_function(fn: Function) -> MemoryAnalysis:
+    """Run the dependence analysis and collect every ambiguous pair."""
+    analyzer = AffineAnalyzer(fn)
+    analysis = MemoryAnalysis(fn)
+    by_array: Dict[str, Dict[str, list]] = {}
+    for block in fn.blocks:
+        for inst in block.memory_ops():
+            slot = by_array.setdefault(
+                inst.array.name, {"loads": [], "stores": []}
+            )
+            if isinstance(inst, LoadInst):
+                slot["loads"].append(inst)
+            else:
+                slot["stores"].append(inst)
+
+    for array, ops in by_array.items():
+        for load in ops["loads"]:
+            load_expr = analyzer.analyze(load.index)
+            for store in ops["stores"]:
+                store_expr = analyzer.analyze(store.index)
+                kind = classify_dependence(load_expr, store_expr)
+                analysis.classifications[(id(load), id(store))] = kind
+                if kind is Dependence.MAY_CONFLICT:
+                    analysis.pairs.append(AmbiguousPair(load, store, array))
+                    analysis.conflicted_arrays.add(array)
+    return analysis

@@ -1,0 +1,160 @@
+"""Premature-queue depth model (Sec. V-A, Eqs. 6-10).
+
+Definition 2 (*matched pair*): a pair whose average execution time equals
+its predecessor's, minimizing stall probability.  The model:
+
+* Eq. (6)  ``t_p = t_org * (2 + P_s)`` — average execution time of an
+  ambiguous pair under PreVV, where ``t_org`` is the original computation
+  time and ``P_s`` the squash probability;
+* Eq. (7)  ``t_w = t_token / depth_q`` — the predecessor's effective
+  waiting time per live-out token given queue depth ``depth_q``;
+* matched when ``t_p == t_w`` — solved by :func:`matched_depth`;
+* Eq. (8)  independence constraint between two pairs, with the
+  distance/span terms of Eqs. (9)-(10) computed over the component graph
+  by :func:`pair_distance` / :func:`pair_span`.
+
+These drive the depth-sweep benchmark (``benchmarks/bench_depth_sweep.py``)
+and the automatic depth suggestion in :func:`suggest_depth`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..errors import AnalysisError
+
+
+def pair_execution_time(t_org: float, p_squash: float) -> float:
+    """Eq. (6): ``t_p = t_org * (2 + P_s)``."""
+    if not 0.0 <= p_squash <= 1.0:
+        raise AnalysisError(f"squash probability {p_squash} outside [0, 1]")
+    if t_org <= 0:
+        raise AnalysisError("t_org must be positive")
+    return t_org * (2.0 + p_squash)
+
+
+def waiting_time(t_token: float, depth_q: int) -> float:
+    """Eq. (7): ``t_w = t_token / depth_q``."""
+    if depth_q < 1:
+        raise AnalysisError("queue depth must be >= 1")
+    return t_token / depth_q
+
+
+def matched_depth(t_org: float, p_squash: float, t_token: float) -> int:
+    """Solve ``t_p == t_w`` (Definition 2) for the matched queue depth.
+
+    Returns the smallest power-of-two depth at least as large as the
+    analytic optimum (hardware queues are sized in powers of two).
+    """
+    optimum = t_token / pair_execution_time(t_org, p_squash)
+    depth = 1
+    while depth < optimum:
+        depth *= 2
+    return depth
+
+
+def is_matched(
+    t_org: float, p_squash: float, t_token: float, depth_q: int,
+    tolerance: float = 0.25,
+) -> bool:
+    """Whether ``depth_q`` makes the pair matched within ``tolerance``."""
+    t_p = pair_execution_time(t_org, p_squash)
+    t_w = waiting_time(t_token, depth_q)
+    return abs(t_p - t_w) <= tolerance * max(t_p, t_w)
+
+
+def independent_pairs(
+    d_mn: float,
+    span_m: float,
+    span_n: float,
+    clock_period: float,
+    t_token: float,
+    depth_q: int,
+) -> bool:
+    """Eq. (8): distance constraint under which pairs m and n don't overlap."""
+    if clock_period <= 0:
+        raise AnalysisError("clock period must be positive")
+    lhs = d_mn / clock_period
+    mid = (span_m + span_n) / clock_period
+    t_w = waiting_time(t_token, depth_q)
+    return lhs >= mid and lhs >= t_w
+
+
+# ----------------------------------------------------------------------
+# Graph-based distance/span (Eqs. 9-10) over an elastic circuit
+# ----------------------------------------------------------------------
+def _forward_dag(circuit, skip_backedges: bool = True):
+    """Component adjacency of the circuit, back-edge channels removed."""
+    adjacency: Dict[str, Set[str]] = {c.name: set() for c in circuit.components}
+    for chan in circuit.channels:
+        if skip_backedges and getattr(chan, "is_backedge", False):
+            continue
+        if chan.producer is not None and chan.consumer is not None:
+            adjacency[chan.producer.name].add(chan.consumer.name)
+    return adjacency
+
+
+def _longest_path_length(
+    adjacency: Dict[str, Set[str]], sources: Iterable[str], targets: Set[str]
+) -> Optional[int]:
+    """Max #components on any path from a source to a target (DFS + memo).
+
+    Returns ``None`` when no target is reachable.  Cycles that survive
+    back-edge removal are cut by the visiting set (conservative).
+    """
+    memo: Dict[str, Optional[int]] = {}
+    visiting: Set[str] = set()
+
+    def depth(node: str) -> Optional[int]:
+        if node in memo:
+            return memo[node]
+        if node in visiting:
+            return None
+        visiting.add(node)
+        best: Optional[int] = 1 if node in targets else None
+        for succ in adjacency.get(node, ()):
+            sub = depth(succ)
+            if sub is not None and (best is None or sub + 1 > best):
+                best = sub + 1
+        visiting.discard(node)
+        memo[node] = best
+        return best
+
+    result: Optional[int] = None
+    for source in sources:
+        d = depth(source)
+        if d is not None and (result is None or d > result):
+            result = d
+    return result
+
+
+def pair_distance(circuit, begin_names: Sequence[str], end_names: Sequence[str]):
+    """Eq. (9): max component count from pair m's start to pair n's end."""
+    adjacency = _forward_dag(circuit)
+    return _longest_path_length(adjacency, begin_names, set(end_names))
+
+
+def pair_span(circuit, member_names: Sequence[str]):
+    """Eq. (10): max component count over paths inside one pair."""
+    members = set(member_names)
+    adjacency = _forward_dag(circuit)
+    restricted = {
+        name: {s for s in succs if s in members}
+        for name, succs in adjacency.items()
+        if name in members
+    }
+    return _longest_path_length(restricted, member_names, members)
+
+
+def suggest_depth(
+    t_org: float,
+    p_squash: float,
+    t_token: float,
+    min_depth: int = 2,
+    max_depth: int = 256,
+) -> int:
+    """Matched depth clamped to implementable bounds."""
+    depth = matched_depth(t_org, p_squash, t_token)
+    return max(min_depth, min(max_depth, depth))

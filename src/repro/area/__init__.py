@@ -1,0 +1,30 @@
+"""FPGA area/timing model: the reproduction's stand-in for Vivado."""
+
+from .model import (
+    CATEGORY_COMPUTE,
+    CATEGORY_CONTROL,
+    CATEGORY_INTERFACE,
+    CATEGORY_MEMORY,
+    Resources,
+    total,
+)
+from .library import COST_LIBRARY, component_cost
+from .report import CircuitReport, category_of, circuit_report
+from .timing import clock_period, component_delay, execution_time_us
+
+__all__ = [
+    "CATEGORY_COMPUTE",
+    "CATEGORY_CONTROL",
+    "CATEGORY_INTERFACE",
+    "CATEGORY_MEMORY",
+    "Resources",
+    "total",
+    "COST_LIBRARY",
+    "component_cost",
+    "CircuitReport",
+    "category_of",
+    "circuit_report",
+    "clock_period",
+    "component_delay",
+    "execution_time_us",
+]

@@ -1,0 +1,78 @@
+"""Resource accounting primitives.
+
+:class:`Resources` mirrors what the paper reports: LUTs, FFs and muxes
+(DSPs are tracked but not evaluated — "the use of DSP is not evaluated, as
+neither LSQ nor PreVV utilizes DSP").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+
+@dataclass
+class Resources:
+    """FPGA resource bundle (fractional during estimation; round to report)."""
+
+    luts: float = 0.0
+    ffs: float = 0.0
+    muxes: float = 0.0
+    dsps: float = 0.0
+
+    def __add__(self, other: "Resources") -> "Resources":
+        return Resources(
+            self.luts + other.luts,
+            self.ffs + other.ffs,
+            self.muxes + other.muxes,
+            self.dsps + other.dsps,
+        )
+
+    def __iadd__(self, other: "Resources") -> "Resources":
+        self.luts += other.luts
+        self.ffs += other.ffs
+        self.muxes += other.muxes
+        self.dsps += other.dsps
+        return self
+
+    def scaled(self, factor: float) -> "Resources":
+        return Resources(
+            self.luts * factor,
+            self.ffs * factor,
+            self.muxes * factor,
+            self.dsps * factor,
+        )
+
+    def rounded(self) -> "Resources":
+        return Resources(
+            round(self.luts), round(self.ffs), round(self.muxes),
+            round(self.dsps),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "luts": self.luts,
+            "ffs": self.ffs,
+            "muxes": self.muxes,
+            "dsps": self.dsps,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Resources(LUT={self.luts:.0f}, FF={self.ffs:.0f}, "
+            f"MUX={self.muxes:.0f})"
+        )
+
+
+def total(parts: Iterable[Resources]) -> Resources:
+    result = Resources()
+    for part in parts:
+        result += part
+    return result
+
+
+#: categories used for the Fig. 1 breakdown
+CATEGORY_MEMORY = "memory_ordering"   # LSQ / PreVV units+queues
+CATEGORY_COMPUTE = "computation"      # operators
+CATEGORY_CONTROL = "dataflow_control" # forks/merges/muxes/buffers/gates
+CATEGORY_INTERFACE = "memory_interface"  # plain controllers

@@ -1,0 +1,77 @@
+"""Circuit-level resource aggregation and the Fig. 1 category breakdown."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .library import component_cost
+from .model import (
+    CATEGORY_COMPUTE,
+    CATEGORY_CONTROL,
+    CATEGORY_INTERFACE,
+    CATEGORY_MEMORY,
+    Resources,
+)
+
+#: resource-class -> Fig. 1 category
+_CATEGORY_OF = {
+    "lsq": CATEGORY_MEMORY,
+    "prevv_unit": CATEGORY_MEMORY,
+    "replay_gate": CATEGORY_MEMORY,
+    "pair_packer": CATEGORY_MEMORY,
+    "fake_gen": CATEGORY_MEMORY,
+    "memory_controller": CATEGORY_INTERFACE,
+    "add": CATEGORY_COMPUTE,
+    "mul": CATEGORY_COMPUTE,
+    "div": CATEGORY_COMPUTE,
+    "logic": CATEGORY_COMPUTE,
+    "shift": CATEGORY_COMPUTE,
+    "cmp": CATEGORY_COMPUTE,
+    "select": CATEGORY_COMPUTE,
+}
+
+
+def category_of(component) -> str:
+    cls = component.resource_class
+    return _CATEGORY_OF.get(cls, CATEGORY_CONTROL)
+
+
+@dataclass
+class CircuitReport:
+    """Aggregated resources with per-category and per-component detail."""
+
+    total: Resources = field(default_factory=Resources)
+    by_category: Dict[str, Resources] = field(default_factory=dict)
+    by_class: Dict[str, Resources] = field(default_factory=dict)
+
+    def share(self, category: str, metric: str = "luts") -> float:
+        """Fraction of ``metric`` spent in ``category`` (Fig. 1's y-axis)."""
+        denom = getattr(self.total, metric)
+        if denom == 0:
+            return 0.0
+        part = self.by_category.get(category, Resources())
+        return getattr(part, metric) / denom
+
+    def ordering_share(self) -> float:
+        """LUT+FF+mux share of the memory-ordering hardware (Fig. 1)."""
+        num = self.by_category.get(CATEGORY_MEMORY, Resources())
+        total_all = self.total.luts + self.total.ffs + self.total.muxes
+        if total_all == 0:
+            return 0.0
+        return (num.luts + num.ffs + num.muxes) / total_all
+
+
+def circuit_report(circuit) -> CircuitReport:
+    """Estimate resources for every component of ``circuit``."""
+    report = CircuitReport()
+    for comp in circuit.components:
+        cost = component_cost(comp)
+        report.total += cost
+        cat = category_of(comp)
+        report.by_category.setdefault(cat, Resources())
+        report.by_category[cat] += cost
+        cls = comp.resource_class or "none"
+        report.by_class.setdefault(cls, Resources())
+        report.by_class[cls] += cost
+    return report

@@ -1,0 +1,91 @@
+"""Clock-period estimation.
+
+The achieved clock period of the synthesized circuit is the slowest
+combinational stage.  We model per-component delay classes (ns on a
+Kintex-7 ``xc7k160tfbg484-2`` under a 4 ns constraint, like the paper) and
+take the maximum over the circuit, plus a routing-congestion term that
+grows gently with total area (big circuits route worse).
+
+The two structure-dependent classes carry the paper's timing story:
+
+* LSQ search is a priority/age network over *all* entries:
+  ``delay = LSQ_BASE + LSQ_PER_LOG2 * log2(Dl + Ds)``;
+* the PreVV arbiter compares one arrival against the queue through a
+  balanced reduction tree, shallower per level:
+  ``delay = PREVV_BASE + PREVV_PER_LOG2 * log2(depth_q)``.
+
+This reproduces Table II's shape: PreVV's CP sits slightly below the
+LSQ baselines and barely moves from depth 16 to 64.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from .report import circuit_report
+
+#: fixed delay classes (ns)
+DELAY = {
+    "entry": 1.0,
+    "source": 1.0,
+    "sink": 1.0,
+    "constant": 1.2,
+    "fork": 2.2,
+    "join": 2.0,
+    "merge": 3.6,
+    "cmerge": 3.8,
+    "mux": 3.9,
+    "branch": 2.8,
+    "select": 3.6,
+    "oehb": 2.0,
+    "tehb": 2.6,
+    "fifo": 3.4,
+    "replay_gate": 4.2,
+    "pair_packer": 2.4,
+    "fake_gen": 1.4,
+    "add": 5.6,
+    "logic": 3.0,
+    "shift": 4.2,
+    "cmp": 4.8,
+    "mul": 6.4,
+    "div": 7.3,
+    "memory_controller": 6.1,
+}
+
+LSQ_BASE = 4.15
+LSQ_PER_LOG2 = 0.62
+PREVV_BASE = 5.1
+PREVV_PER_LOG2 = 0.16
+#: routing congestion: ns added per unit of ln(1 + LUTs / CONGESTION_SCALE)
+CONGESTION_FACTOR = 0.55
+CONGESTION_SCALE = 25_000.0
+
+
+def component_delay(component) -> float:
+    cls = component.resource_class
+    if cls is None:
+        return 0.0
+    if cls == "lsq":
+        p = component.resource_params
+        depth = p.get("depth_loads", 16) + p.get("depth_stores", 16)
+        return LSQ_BASE + LSQ_PER_LOG2 * math.log2(max(2, depth))
+    if cls == "prevv_unit":
+        p = component.resource_params
+        return PREVV_BASE + PREVV_PER_LOG2 * math.log2(max(2, p.get("depth", 16)))
+    return DELAY.get(cls, 2.0)
+
+
+def clock_period(circuit) -> float:
+    """Estimated achieved clock period (ns) for ``circuit``."""
+    worst = max(
+        (component_delay(c) for c in circuit.components), default=1.0
+    )
+    luts = circuit_report(circuit).total.luts
+    congestion = CONGESTION_FACTOR * math.log(1.0 + luts / CONGESTION_SCALE)
+    return worst + congestion
+
+
+def execution_time_us(cycles: int, period_ns: float) -> float:
+    """Total execution time in microseconds (Table II's last columns)."""
+    return cycles * period_ns / 1000.0

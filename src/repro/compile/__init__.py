@@ -1,0 +1,6 @@
+"""Elastic circuit synthesis (the Dynamatic flow + the PreVV LLVM pass)."""
+
+from .elastic import BuildResult, compile_function
+from .passes import CompilationReport, run_pipeline
+
+__all__ = ["BuildResult", "compile_function", "CompilationReport", "run_pipeline"]

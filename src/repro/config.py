@@ -1,0 +1,68 @@
+"""Hardware configuration for circuit generation and evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .errors import ConfigError
+
+MEMORY_STYLES = ("none", "dynamatic", "fast", "prevv")
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Everything the compiler needs to know about the target hardware.
+
+    ``memory_style`` selects the disambiguation mechanism for conflicted
+    arrays:
+
+    * ``"none"``       — plain memory controllers everywhere (only valid
+      for hazard-free kernels; the compiler refuses otherwise);
+    * ``"dynamatic"``  — the LSQ of [15] with group allocation through the
+      control network;
+    * ``"fast"``       — the LSQ with the fast allocation network of [8];
+    * ``"prevv"``      — this paper: premature execution + PreVV units.
+    """
+
+    name: str = "default"
+    memory_style: str = "dynamatic"
+    # PreVV parameters
+    prevv_depth: int = 16                # Depth_q (PreVV16 / PreVV64)
+    prevv_fifo_depth: int = 4            # FIFO decoupling arbiter from pipeline
+    prevv_validations_per_cycle: int = 2  # LMerge + SMerge throughput
+    prevv_reorder_window: int = 4        # arbiter input reorder depth
+    # LSQ parameters
+    lsq_depth_loads: int = 16
+    lsq_depth_stores: int = 16
+    lsq_alloc_latency: Optional[int] = None  # default by style (3 vs 1)
+    # Memory system
+    mem_port_slack: int = 4              # transparent FIFO depth at each port
+    load_latency: int = 1
+    loads_per_cycle: int = 1
+    stores_per_cycle: int = 1
+    # Datapath
+    data_width: int = 32
+    addr_width: int = 32
+    # Synthesis target (feeds the timing model)
+    clock_target_ns: float = 4.0
+
+    def __post_init__(self):
+        if self.memory_style not in MEMORY_STYLES:
+            raise ConfigError(
+                f"unknown memory style {self.memory_style!r}; "
+                f"choose one of {MEMORY_STYLES}"
+            )
+        if self.prevv_depth < 1:
+            raise ConfigError("prevv_depth must be >= 1")
+        if self.lsq_depth_loads < 1 or self.lsq_depth_stores < 1:
+            raise ConfigError("LSQ depths must be >= 1")
+
+    @property
+    def effective_alloc_latency(self) -> int:
+        if self.lsq_alloc_latency is not None:
+            return self.lsq_alloc_latency
+        return 1 if self.memory_style == "fast" else 3
+
+    def with_(self, **changes) -> "HardwareConfig":
+        return replace(self, **changes)

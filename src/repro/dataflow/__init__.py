@@ -1,0 +1,50 @@
+"""Elastic dataflow-circuit substrate: components, channels, simulator.
+
+This package implements the latency-insensitive circuit model that
+Dynamatic-generated VHDL implements on the FPGA: handshaked channels,
+eager forks, merges/muxes/branches for control-flow routing, elastic
+buffers/FIFOs for storage, and pipelined operators — plus a two-phase
+cycle-accurate simulator.
+"""
+
+from .token import Token, combine, merge_tags
+from .channel import Channel
+from .component import Component
+from .primitives import Constant, Entry, Fork, Join, Sink, Source
+from .routing import Branch, ControlMerge, Merge, Mux, Select
+from .buffers import Fifo, OpaqueBuffer, TransparentBuffer, TransparentFifo
+from .arith import OP_TABLE, Operator
+from .circuit import Circuit
+from .simulator import SimulationStats, Simulator
+from .tracing import ChannelTrace
+from .visualize import to_dot
+
+__all__ = [
+    "Token",
+    "combine",
+    "merge_tags",
+    "Channel",
+    "Component",
+    "Entry",
+    "Source",
+    "Sink",
+    "Constant",
+    "Fork",
+    "Join",
+    "Merge",
+    "ControlMerge",
+    "Mux",
+    "Branch",
+    "Select",
+    "OpaqueBuffer",
+    "TransparentBuffer",
+    "TransparentFifo",
+    "Fifo",
+    "Operator",
+    "OP_TABLE",
+    "Circuit",
+    "Simulator",
+    "SimulationStats",
+    "ChannelTrace",
+    "to_dot",
+]

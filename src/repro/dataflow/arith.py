@@ -1,0 +1,152 @@
+"""Pipelined arithmetic/logic operators.
+
+:class:`Operator` joins its N inputs, applies a Python function, and pushes
+the result through an L-stage fully pipelined shift register (initiation
+interval 1).  ``latency == 0`` gives a purely combinational unit.  The
+pipeline stalls as a whole when its output is blocked, which is the
+behaviour of Dynamatic's non-elastic inner operator wrapped in elastic
+glue.
+
+The :data:`OP_TABLE` maps IR opcodes to (function, latency, resource-class)
+tuples.  Latencies follow typical Vivado IP figures at ~250 MHz used by
+Dynamatic's component library: integer add/sub/compare are combinational,
+multiply takes 4 cycles, divide 8.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from .component import Component
+from .token import Token, combine
+
+
+def _c_div(a: int, b: int) -> int:
+    """C-style integer division (truncate toward zero)."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in dataflow operator")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _c_rem(a: int, b: int) -> int:
+    """C-style remainder: a - (a/b)*b with truncating division."""
+    return a - _c_div(a, b) * b
+
+
+#: opcode -> (function, latency cycles, resource-class key)
+OP_TABLE = {
+    "add": (lambda a, b: a + b, 0, "add"),
+    "sub": (lambda a, b: a - b, 0, "add"),
+    "mul": (lambda a, b: a * b, 4, "mul"),
+    "div": (_c_div, 8, "div"),
+    "rem": (_c_rem, 8, "div"),
+    "and": (lambda a, b: a & b, 0, "logic"),
+    "or": (lambda a, b: a | b, 0, "logic"),
+    "xor": (lambda a, b: a ^ b, 0, "logic"),
+    "shl": (lambda a, b: a << b, 0, "shift"),
+    "shr": (lambda a, b: a >> b, 0, "shift"),
+    "eq": (lambda a, b: int(a == b), 0, "cmp"),
+    "ne": (lambda a, b: int(a != b), 0, "cmp"),
+    "lt": (lambda a, b: int(a < b), 0, "cmp"),
+    "le": (lambda a, b: int(a <= b), 0, "cmp"),
+    "gt": (lambda a, b: int(a > b), 0, "cmp"),
+    "ge": (lambda a, b: int(a >= b), 0, "cmp"),
+    "neg": (lambda a: -a, 0, "add"),
+    "not": (lambda a: int(not a), 0, "logic"),
+}
+
+
+class Operator(Component):
+    """N-input pipelined operator with initiation interval 1."""
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        n_inputs: int,
+        latency: int = 0,
+        width: int = 32,
+        resource: str = "logic",
+    ):
+        super().__init__(name)
+        self.fn = fn
+        self.n_inputs = n_inputs
+        self.latency = latency
+        self.width = width
+        self.resource_class = resource
+        # Pipeline slots, index 0 = newest; only used when latency >= 1.
+        self._pipe: List[Optional[Token]] = [None] * latency
+
+    @classmethod
+    def from_opcode(cls, name: str, opcode: str, width: int = 32) -> "Operator":
+        fn, latency, resource = OP_TABLE[opcode]
+        n_inputs = fn.__code__.co_argcount
+        return cls(name, fn, n_inputs, latency=latency, width=width, resource=resource)
+
+    def in_port(self, i: int) -> str:
+        return f"in{i}"
+
+    def _inputs_valid(self):
+        toks = []
+        for i in range(self.n_inputs):
+            ch = self.inputs[self.in_port(i)]
+            if not ch.valid:
+                return None
+            toks.append(ch.data)
+        return toks
+
+    def _compute(self, toks) -> Token:
+        result = self.fn(*[t.value for t in toks])
+        return combine(result, *toks)
+
+    def propagate(self) -> None:
+        toks = self._inputs_valid()
+        if self.latency == 0:
+            if toks is None:
+                return
+            self.drive_out("out", self._compute(toks))
+            if self.out_ready("out"):
+                for i in range(self.n_inputs):
+                    self.drive_ready(self.in_port(i), True)
+            return
+        # Pipelined: output from the last stage; accept when the pipe shifts.
+        tail = self._pipe[-1]
+        if tail is not None:
+            self.drive_out("out", tail)
+        advance = tail is None or self.out_ready("out")
+        if advance and toks is not None:
+            for i in range(self.n_inputs):
+                self.drive_ready(self.in_port(i), True)
+
+    def tick(self) -> None:
+        if self.latency == 0:
+            return
+        tail = self._pipe[-1]
+        advance = tail is None or self.outputs["out"].fires
+        if not advance:
+            return
+        toks = self._inputs_valid()
+        accepted = toks is not None and self.inputs[self.in_port(0)].fires
+        new_head = self._compute(toks) if accepted else None
+        self._pipe = [new_head] + self._pipe[:-1]
+
+    def flush(self, domain: int, min_iter: int) -> None:
+        self._pipe = [
+            None if (t is not None and t.is_squashed_by(domain, min_iter)) else t
+            for t in self._pipe
+        ]
+
+    @property
+    def is_busy(self) -> bool:
+        # Progress without channel traffic only happens while bubbles let the
+        # pipeline shift; a pipeline blocked at its tail is genuinely stuck.
+        return bool(
+            self._pipe
+            and self._pipe[-1] is None
+            and any(t is not None for t in self._pipe)
+        )
+
+    @property
+    def resource_params(self):
+        return {"width": self.width, "n": self.n_inputs, "latency": self.latency}

@@ -1,0 +1,199 @@
+"""Elastic storage: opaque buffers and FIFOs.
+
+* :class:`OpaqueBuffer` (OEHB) — one-slot registered buffer.  It cuts the
+  combinational valid/data path, providing the storage that lets tokens
+  live on loop back-edges.  ``ready`` is combinational: the slot is
+  acceptable when empty or when its occupant leaves this cycle.
+* :class:`Fifo` — depth-N opaque FIFO (Dynamatic's elastic FIFO).  Used to
+  decouple the main pipeline from the PreVV arbiter ("we use a simple FIFO
+  to cache data before it enters the arbiter", Sec. IV-A) and for slack on
+  memory paths.
+
+Both honour :meth:`flush`: tokens belonging to squashed iterations vanish,
+modelling the pipeline flush that follows an erroneous premature operation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .component import Component
+from .token import Token
+
+
+class OpaqueBuffer(Component):
+    """One-slot opaque elastic buffer (OEHB)."""
+
+    resource_class = "oehb"
+
+    def __init__(self, name: str, width: int = 32):
+        super().__init__(name)
+        self.width = width
+        self._slot: Optional[Token] = None
+
+    def propagate(self) -> None:
+        if self._slot is not None:
+            self.drive_out("out", self._slot)
+        if self._slot is None or self.out_ready("out"):
+            self.drive_ready("in", True)
+
+    def tick(self) -> None:
+        if self._slot is not None and self.outputs["out"].fires:
+            self._slot = None
+        in_ch = self.inputs["in"]
+        if in_ch.fires:
+            self._slot = in_ch.data
+
+    def flush(self, domain: int, min_iter: int) -> None:
+        if self._slot is not None and self._slot.is_squashed_by(domain, min_iter):
+            self._slot = None
+
+    @property
+    def occupancy(self) -> int:
+        return 0 if self._slot is None else 1
+
+    @property
+    def resource_params(self):
+        return {"width": self.width}
+
+
+class TransparentBuffer(Component):
+    """One-slot transparent elastic buffer (TEHB).
+
+    Cuts the combinational *ready* path: ``in.ready`` depends only on the
+    slot state, never on ``out.ready``.  When empty, tokens pass through
+    combinationally; when the consumer stalls, the token parks in the slot.
+    An OEHB+TEHB pair on a loop back-edge breaks both the valid and the
+    ready cycles, which is what lets a single token circulate with II = 1.
+    """
+
+    resource_class = "tehb"
+
+    def __init__(self, name: str, width: int = 32):
+        super().__init__(name)
+        self.width = width
+        self._slot: Optional[Token] = None
+
+    def propagate(self) -> None:
+        if self._slot is not None:
+            self.drive_out("out", self._slot)
+        elif self.in_valid("in"):
+            self.drive_out("out", self.in_token("in"))
+        if self._slot is None:
+            self.drive_ready("in", True)
+
+    def tick(self) -> None:
+        out_fired = self.outputs["out"].fires
+        in_ch = self.inputs["in"]
+        if self._slot is None:
+            if in_ch.fires and not out_fired:
+                self._slot = in_ch.data
+        elif out_fired:
+            self._slot = None
+
+    def flush(self, domain: int, min_iter: int) -> None:
+        if self._slot is not None and self._slot.is_squashed_by(domain, min_iter):
+            self._slot = None
+
+    @property
+    def occupancy(self) -> int:
+        return 0 if self._slot is None else 1
+
+    @property
+    def resource_params(self):
+        return {"width": self.width}
+
+
+class TransparentFifo(Component):
+    """Depth-N transparent FIFO: zero latency when empty, slack when stalled.
+
+    The generalization of the TEHB to N slots: tokens pass through
+    combinationally while the consumer keeps up and park in the FIFO when
+    it stalls.  ``in.ready`` depends only on occupancy (state), so the
+    ready path is cut.  Used as the slack Dynamatic's buffer placement
+    inserts in front of memory ports, letting address computation run
+    ahead of data computation.
+    """
+
+    resource_class = "fifo"
+
+    def __init__(self, name: str, depth: int, width: int = 32):
+        super().__init__(name)
+        if depth < 1:
+            raise ValueError("fifo depth must be >= 1")
+        self.depth = depth
+        self.width = width
+        self._items: Deque[Token] = deque()
+
+    def propagate(self) -> None:
+        if self._items:
+            self.drive_out("out", self._items[0])
+        elif self.in_valid("in"):
+            self.drive_out("out", self.in_token("in"))
+        if len(self._items) < self.depth:
+            self.drive_ready("in", True)
+
+    def tick(self) -> None:
+        out_fired = self.outputs["out"].fires
+        in_fired = self.inputs["in"].fires
+        if self._items:
+            if out_fired:
+                self._items.popleft()
+            if in_fired:
+                self._items.append(self.inputs["in"].data)
+        elif in_fired and not out_fired:
+            self._items.append(self.inputs["in"].data)
+
+    def flush(self, domain: int, min_iter: int) -> None:
+        self._items = deque(
+            t for t in self._items if not t.is_squashed_by(domain, min_iter)
+        )
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._items)
+
+    @property
+    def resource_params(self):
+        return {"width": self.width, "depth": self.depth}
+
+
+class Fifo(Component):
+    """Depth-N opaque FIFO with single-cycle minimum latency."""
+
+    resource_class = "fifo"
+
+    def __init__(self, name: str, depth: int, width: int = 32):
+        super().__init__(name)
+        if depth < 1:
+            raise ValueError("fifo depth must be >= 1")
+        self.depth = depth
+        self.width = width
+        self._items: Deque[Token] = deque()
+
+    def propagate(self) -> None:
+        if self._items:
+            self.drive_out("out", self._items[0])
+        if len(self._items) < self.depth or self.out_ready("out"):
+            self.drive_ready("in", True)
+
+    def tick(self) -> None:
+        if self._items and self.outputs["out"].fires:
+            self._items.popleft()
+        in_ch = self.inputs["in"]
+        if in_ch.fires:
+            self._items.append(in_ch.data)
+
+    def flush(self, domain: int, min_iter: int) -> None:
+        self._items = deque(
+            t for t in self._items if not t.is_squashed_by(domain, min_iter)
+        )
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._items)
+
+    @property
+    def resource_params(self):
+        return {"width": self.width, "depth": self.depth}

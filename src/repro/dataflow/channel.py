@@ -1,0 +1,84 @@
+"""Elastic channels: single-producer single-consumer handshaked wires.
+
+A channel carries the three latency-insensitive signals of an elastic
+(valid/ready) protocol [Carloni et al.]:
+
+* ``valid`` — driven by the producer, true when ``data`` holds a token;
+* ``data``  — the token being offered;
+* ``ready`` — driven by the consumer, true when it can accept the token.
+
+A *transfer* happens at the clock edge of any cycle in which both ``valid``
+and ``ready`` are high.  Within a cycle all signals are recomputed from
+scratch by fixpoint iteration; the simulator resets them at the start of
+each cycle (see :mod:`repro.dataflow.simulator`).
+
+Channels are strictly point-to-point; fan-out must go through an explicit
+:class:`~repro.dataflow.primitives.Fork`, exactly as in Dynamatic netlists.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from .token import Token
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .component import Component
+
+
+class Channel:
+    """One handshaked connection between an output port and an input port."""
+
+    __slots__ = (
+        "name",
+        "producer",
+        "producer_port",
+        "consumer",
+        "consumer_port",
+        "valid",
+        "ready",
+        "data",
+        "transfers",
+        "stall_cycles",
+        "idle_cycles",
+        "is_backedge",
+    )
+
+    def __init__(self, name: str):
+        self.name = name
+        self.producer: Optional["Component"] = None
+        self.producer_port: Optional[str] = None
+        self.consumer: Optional["Component"] = None
+        self.consumer_port: Optional[str] = None
+        self.valid = False
+        self.ready = False
+        self.data: Optional[Token] = None
+        # Statistics, updated at every clock edge.
+        self.transfers = 0
+        self.stall_cycles = 0  # valid && !ready
+        self.idle_cycles = 0  # !valid
+        self.is_backedge = False
+
+    @property
+    def fires(self) -> bool:
+        """True when a transfer completes at the coming clock edge."""
+        return self.valid and self.ready
+
+    def reset_cycle(self) -> None:
+        """Clear combinational signals at the start of a cycle."""
+        self.valid = False
+        self.ready = False
+        self.data = None
+
+    def record_stats(self) -> None:
+        """Account this cycle's handshake outcome (called before tick)."""
+        if self.valid and self.ready:
+            self.transfers += 1
+        elif self.valid:
+            self.stall_cycles += 1
+        else:
+            self.idle_cycles += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fire" if self.fires else ("stall" if self.valid else "idle")
+        return f"Channel({self.name}, {state}, data={self.data!r})"

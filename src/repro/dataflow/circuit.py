@@ -1,0 +1,100 @@
+"""Circuit container: components, channels, wiring and validation."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..errors import CircuitError
+from .channel import Channel
+from .component import Component
+
+
+class Circuit:
+    """A netlist of elastic components connected by point-to-point channels."""
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.components: List[Component] = []
+        self._by_name: Dict[str, Component] = {}
+        self.channels: List[Channel] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, component: Component) -> Component:
+        if component.name in self._by_name:
+            raise CircuitError(f"duplicate component name {component.name!r}")
+        self.components.append(component)
+        self._by_name[component.name] = component
+        return component
+
+    def get(self, name: str) -> Component:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CircuitError(f"no component named {name!r}") from None
+
+    def connect(
+        self,
+        producer: Component,
+        out_port: str,
+        consumer: Component,
+        in_port: str,
+        name: Optional[str] = None,
+    ) -> Channel:
+        """Wire ``producer.out_port`` to ``consumer.in_port``."""
+        for comp in (producer, consumer):
+            if comp.name not in self._by_name:
+                raise CircuitError(
+                    f"component {comp.name!r} must be added before connecting"
+                )
+        chan = Channel(name or f"{producer.name}.{out_port}->{consumer.name}.{in_port}")
+        producer.attach_output(out_port, chan)
+        consumer.attach_input(in_port, chan)
+        self.channels.append(chan)
+        return chan
+
+    def validate(self) -> None:
+        """Check that every declared port is wired exactly once."""
+        problems = []
+        for comp in self.components:
+            for port in comp.expected_inputs():
+                if port not in comp.inputs:
+                    problems.append(f"{comp.name}: input {port!r} unconnected")
+            for port in comp.expected_outputs():
+                if port not in comp.outputs:
+                    problems.append(f"{comp.name}: output {port!r} unconnected")
+        for chan in self.channels:
+            if chan.producer is None or chan.consumer is None:
+                problems.append(f"channel {chan.name}: dangling end")
+        if problems:
+            raise CircuitError("; ".join(problems))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def components_of(self, cls) -> List[Component]:
+        return [c for c in self.components if isinstance(c, cls)]
+
+    def flush(self, domain: int, min_iter: int) -> None:
+        """Squash: drop every internal token of ``domain`` iterations >= e."""
+        for comp in self.components:
+            comp.flush(domain, min_iter)
+
+    def total_resources(self):  # convenience; full report in repro.area
+        from ..area.report import circuit_report
+
+        return circuit_report(self)
+
+    def stats_summary(self) -> Dict[str, int]:
+        return {
+            "components": len(self.components),
+            "channels": len(self.channels),
+            "transfers": sum(c.transfers for c in self.channels),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Circuit({self.name}, {len(self.components)} components, "
+            f"{len(self.channels)} channels)"
+        )

@@ -1,0 +1,211 @@
+"""Basic elastic components: entry, source, sink, constant, fork, join.
+
+These mirror the Dynamatic component library [Josipović et al., 2020]:
+
+* :class:`Entry` — emits exactly one start token (the function's control
+  activation) and is then silent.
+* :class:`Source` — offers an endless stream of constant tokens (used only
+  in tests; real circuits trigger constants from control tokens).
+* :class:`Sink` — consumes and records everything (always ready).
+* :class:`Constant` — one constant-valued token per incoming control token.
+* :class:`Fork` — eager fork: each successor receives its copy as soon as it
+  is ready, tracked with per-output ``done`` bits.
+* :class:`Join` — synchronizes N control tokens into one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from .component import Component
+from .token import Token, combine
+
+
+class Entry(Component):
+    """Emits a single start token, then goes quiet.
+
+    The start token models the function-call control activation that
+    Dynamatic feeds into the entry basic block.
+    """
+
+    resource_class = "entry"
+
+    def __init__(self, name: str, value: Any = None):
+        super().__init__(name)
+        self.value = value
+        self._emitted = False
+
+    def propagate(self) -> None:
+        if not self._emitted:
+            self.drive_out("out", Token(self.value))
+
+    def tick(self) -> None:
+        if not self._emitted and self.out_fires("out"):
+            self._emitted = True
+
+    def reset(self) -> None:
+        self._emitted = False
+
+
+class Source(Component):
+    """Endless stream of identical tokens (test helper)."""
+
+    resource_class = "source"
+
+    def __init__(self, name: str, value: Any = None, limit: Optional[int] = None):
+        super().__init__(name)
+        self.value = value
+        self.limit = limit
+        self.emitted = 0
+
+    def propagate(self) -> None:
+        if self.limit is None or self.emitted < self.limit:
+            self.drive_out("out", Token(self.value))
+
+    def tick(self) -> None:
+        if self.out_fires("out"):
+            self.emitted += 1
+
+
+class Sink(Component):
+    """Always-ready consumer that records received tokens."""
+
+    resource_class = "sink"
+
+    def __init__(self, name: str, record: bool = True):
+        super().__init__(name)
+        self.record = record
+        self.received: List[Token] = []
+        self.count = 0
+
+    def propagate(self) -> None:
+        self.drive_ready("in", True)
+
+    def tick(self) -> None:
+        ch = self.inputs["in"]
+        if ch.fires:
+            self.count += 1
+            if self.record:
+                self.received.append(ch.data)
+
+    def flush(self, domain: int, min_iter: int) -> None:
+        kept = [t for t in self.received if not t.is_squashed_by(domain, min_iter)]
+        self.count -= len(self.received) - len(kept)
+        self.received = kept
+
+    @property
+    def values(self) -> List[Any]:
+        return [t.value for t in self.received]
+
+
+class Constant(Component):
+    """One constant token per control token (Dynamatic's triggered constant)."""
+
+    resource_class = "constant"
+
+    def __init__(self, name: str, value: Any, width: int = 32):
+        super().__init__(name)
+        self.value = value
+        self.width = width
+
+    def propagate(self) -> None:
+        if self.in_valid("ctrl"):
+            ctrl = self.in_token("ctrl")
+            self.drive_out("out", combine(self.value, ctrl))
+            self.drive_ready("ctrl", self.out_ready("out"))
+
+    @property
+    def resource_params(self):
+        return {"width": self.width}
+
+
+class Fork(Component):
+    """Eager fork with per-output done bits.
+
+    Output ports are ``out0 .. out{n-1}``.  Each successor may accept its
+    copy in a different cycle; the input token is consumed once every
+    successor has taken (or takes this cycle) its copy.
+    """
+
+    resource_class = "fork"
+
+    def __init__(self, name: str, n_outputs: int, width: int = 32):
+        super().__init__(name)
+        if n_outputs < 1:
+            raise ValueError("fork needs at least one output")
+        self.n_outputs = n_outputs
+        self.width = width
+        self._done = [False] * n_outputs
+
+    def out_port(self, i: int) -> str:
+        return f"out{i}"
+
+    def propagate(self) -> None:
+        iv = self.in_valid("in")
+        tok = self.in_token("in")
+        all_consumed = True
+        for i in range(self.n_outputs):
+            port = self.out_port(i)
+            if iv and not self._done[i]:
+                self.drive_out(port, tok)
+            if not (self._done[i] or self.outputs[port].ready):
+                all_consumed = False
+        if iv and all_consumed:
+            self.drive_ready("in", True)
+
+    def tick(self) -> None:
+        ch = self.inputs["in"]
+        if ch.fires:
+            self._done = [False] * self.n_outputs
+        elif ch.valid:
+            for i in range(self.n_outputs):
+                if self.outputs[self.out_port(i)].fires:
+                    self._done[i] = True
+
+    def flush(self, domain: int, min_iter: int) -> None:
+        # A held token lives in the producer-side channel; the circuit-level
+        # flush clears channels. Reset done bits so a replayed token is
+        # re-offered to every successor.
+        tok = self.inputs["in"].data
+        if tok is not None and tok.is_squashed_by(domain, min_iter):
+            self._done = [False] * self.n_outputs
+
+    @property
+    def resource_params(self):
+        return {"width": self.width, "n": self.n_outputs}
+
+
+class Join(Component):
+    """Waits for one token on every input, emits one merged control token.
+
+    Input ports are ``in0 .. in{n-1}``; the output token's value is the
+    value of input 0 (joins are control synchronizers — Dynamatic joins
+    carry the first operand through).
+    """
+
+    resource_class = "join"
+
+    def __init__(self, name: str, n_inputs: int):
+        super().__init__(name)
+        if n_inputs < 1:
+            raise ValueError("join needs at least one input")
+        self.n_inputs = n_inputs
+
+    def in_port(self, i: int) -> str:
+        return f"in{i}"
+
+    def propagate(self) -> None:
+        toks = []
+        for i in range(self.n_inputs):
+            ch = self.inputs[self.in_port(i)]
+            if not ch.valid:
+                return
+            toks.append(ch.data)
+        self.drive_out("out", combine(toks[0].value, *toks))
+        if self.out_ready("out"):
+            for i in range(self.n_inputs):
+                self.drive_ready(self.in_port(i), True)
+
+    @property
+    def resource_params(self):
+        return {"n": self.n_inputs}

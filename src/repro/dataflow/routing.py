@@ -1,0 +1,221 @@
+"""Routing components: merge, control merge, mux, branch, select.
+
+These steer tokens along control-flow-graph edges in the elastic circuit
+exactly as Dynamatic's netlist generator does:
+
+* :class:`Merge` — non-deterministic merge; forwards whichever input offers
+  a token (lowest index wins on ties).  Used where at most one input can be
+  live at a time (CFG joins in correct circuits).
+* :class:`ControlMerge` — merge that additionally emits the index of the
+  winning input; drives the select of the phi muxes of its basic block.
+* :class:`Mux` — data phi: a select token picks which data input to forward.
+* :class:`Branch` — routes a data token to the true/false output according
+  to a condition token.
+* :class:`Select` — eager ternary operator (cond ? a : b), consuming all
+  three inputs.
+"""
+
+from __future__ import annotations
+
+from .component import Component
+from .token import Token, combine
+
+
+class Merge(Component):
+    """Forward a token from any valid input; lowest index has priority."""
+
+    resource_class = "merge"
+
+    def __init__(self, name: str, n_inputs: int, width: int = 32):
+        super().__init__(name)
+        if n_inputs < 1:
+            raise ValueError("merge needs at least one input")
+        self.n_inputs = n_inputs
+        self.width = width
+
+    def in_port(self, i: int) -> str:
+        return f"in{i}"
+
+    def _winner(self):
+        for i in range(self.n_inputs):
+            if self.inputs[self.in_port(i)].valid:
+                return i
+        return None
+
+    def propagate(self) -> None:
+        w = self._winner()
+        if w is None:
+            return
+        self.drive_out("out", self.inputs[self.in_port(w)].data)
+        if self.out_ready("out"):
+            self.drive_ready(self.in_port(w), True)
+
+    @property
+    def resource_params(self):
+        return {"width": self.width, "n": self.n_inputs}
+
+
+class ControlMerge(Component):
+    """Merge that also reports which input won (for phi-mux selects).
+
+    Outputs: ``out`` (the control token) and ``index`` (token whose value is
+    the winning input index).  Both outputs must accept for the input to be
+    consumed, so they behave as an implicit two-way fork.
+    """
+
+    resource_class = "cmerge"
+
+    def __init__(self, name: str, n_inputs: int):
+        super().__init__(name)
+        self.n_inputs = n_inputs
+        self._done_out = False
+        self._done_index = False
+        # Once emission for a winner starts (a done bit is set), the merge
+        # is committed to that input until the full handshake completes:
+        # a token arriving meanwhile on a higher-priority input must not
+        # inherit the partial state (it would be consumed without its own
+        # out/index ever being emitted).
+        self._locked: "int | None" = None
+
+    def in_port(self, i: int) -> str:
+        return f"in{i}"
+
+    def _winner(self):
+        if self._locked is not None:
+            return self._locked
+        for i in range(self.n_inputs):
+            if self.inputs[self.in_port(i)].valid:
+                return i
+        return None
+
+    def propagate(self) -> None:
+        w = self._winner()
+        if w is None:
+            return
+        ch = self.inputs[self.in_port(w)]
+        if not ch.valid:
+            return  # locked winner's token not (re)offered yet this cycle
+        tok = ch.data
+        if not self._done_out:
+            self.drive_out("out", tok)
+        if not self._done_index:
+            self.drive_out("index", tok.with_value(w))
+        out_ok = self._done_out or self.outputs["out"].ready
+        idx_ok = self._done_index or self.outputs["index"].ready
+        if out_ok and idx_ok:
+            self.drive_ready(self.in_port(w), True)
+
+    def tick(self) -> None:
+        w = self._winner()
+        if w is None:
+            return
+        if self.inputs[self.in_port(w)].fires:
+            self._done_out = False
+            self._done_index = False
+            self._locked = None
+            return
+        fired = False
+        if self.outputs["out"].fires:
+            self._done_out = True
+            fired = True
+        if self.outputs["index"].fires:
+            self._done_index = True
+            fired = True
+        if fired:
+            self._locked = w
+
+    def flush(self, domain: int, min_iter: int) -> None:
+        w = self._winner()
+        if w is not None:
+            tok = self.inputs[self.in_port(w)].data
+            if tok is not None and tok.is_squashed_by(domain, min_iter):
+                self._done_out = False
+                self._done_index = False
+                self._locked = None
+
+    @property
+    def resource_params(self):
+        return {"n": self.n_inputs}
+
+
+class Mux(Component):
+    """Data phi: forward the data input chosen by the select token."""
+
+    resource_class = "mux"
+
+    def __init__(self, name: str, n_inputs: int, width: int = 32):
+        super().__init__(name)
+        self.n_inputs = n_inputs
+        self.width = width
+
+    def in_port(self, i: int) -> str:
+        return f"in{i}"
+
+    def propagate(self) -> None:
+        sel_ch = self.inputs["select"]
+        if not sel_ch.valid:
+            return
+        w = int(sel_ch.data.value)
+        data_ch = self.inputs[self.in_port(w)]
+        if not data_ch.valid:
+            return
+        self.drive_out("out", combine(data_ch.data.value, data_ch.data, sel_ch.data))
+        if self.out_ready("out"):
+            self.drive_ready("select", True)
+            self.drive_ready(self.in_port(w), True)
+
+    @property
+    def resource_params(self):
+        return {"width": self.width, "n": self.n_inputs}
+
+
+class Branch(Component):
+    """Route ``data`` to output ``true`` or ``false`` per the ``cond`` token."""
+
+    resource_class = "branch"
+
+    def __init__(self, name: str, width: int = 32):
+        super().__init__(name)
+        self.width = width
+
+    def propagate(self) -> None:
+        cond_ch = self.inputs["cond"]
+        data_ch = self.inputs["data"]
+        if not (cond_ch.valid and data_ch.valid):
+            return
+        port = "true" if cond_ch.data.value else "false"
+        self.drive_out(port, combine(data_ch.data.value, data_ch.data, cond_ch.data))
+        if self.out_ready(port):
+            self.drive_ready("cond", True)
+            self.drive_ready("data", True)
+
+    @property
+    def resource_params(self):
+        return {"width": self.width}
+
+
+class Select(Component):
+    """Ternary select: consume cond, a, b; emit a when cond else b."""
+
+    resource_class = "select"
+
+    def __init__(self, name: str, width: int = 32):
+        super().__init__(name)
+        self.width = width
+
+    def propagate(self) -> None:
+        cond = self.inputs["cond"]
+        a = self.inputs["a"]
+        b = self.inputs["b"]
+        if not (cond.valid and a.valid and b.valid):
+            return
+        chosen = a.data if cond.data.value else b.data
+        self.drive_out("out", combine(chosen.value, cond.data, a.data, b.data))
+        if self.out_ready("out"):
+            self.drive_ready("cond", True)
+            self.drive_ready("a", True)
+            self.drive_ready("b", True)
+
+    @property
+    def resource_params(self):
+        return {"width": self.width}

@@ -1,0 +1,94 @@
+"""Tokens flowing through elastic channels.
+
+A token carries a payload ``value`` plus *speculation tags*: a mapping from
+squash-domain identifier to the iteration number the token belongs to.
+Tags are assigned by :class:`~repro.dataflow.replay.ReplayGate` components at
+loop-body entry and propagate through every downstream component by
+max-merging, so that a PreVV squash of ``iter >= e`` can kill exactly the
+in-flight state produced by the squashed iterations (Sec. IV of the paper:
+"the entire pipeline following it needs to be squashed").
+
+Tokens are immutable; combining or retagging produces new tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+
+class Token:
+    """A single unit of data travelling through the dataflow circuit."""
+
+    __slots__ = ("value", "tags", "version")
+
+    def __init__(
+        self,
+        value: Any = None,
+        tags: Optional[Dict[int, int]] = None,
+        version: Optional[int] = None,
+    ):
+        self.value = value
+        self.tags: Dict[int, int] = tags or {}
+        #: memory version observed by a load response (None elsewhere);
+        #: lets the PreVV arbiter order reads against store commits exactly
+        self.version = version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.tags:
+            return f"Token({self.value!r}, tags={self.tags})"
+        return f"Token({self.value!r})"
+
+    def __eq__(self, other) -> bool:
+        """Value equality, so the simulator's fixpoint change detection sees
+        identical re-drives of the same logical token as 'no change'."""
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (
+            self.value == other.value
+            and self.tags == other.tags
+            and self.version == other.version
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.value, tuple(sorted(self.tags.items())), self.version)
+        )
+
+    def with_value(self, value: Any) -> "Token":
+        """A copy of this token carrying ``value`` but the same tags."""
+        return Token(value, dict(self.tags), self.version)
+
+    def with_tag(self, domain: int, iteration: int) -> "Token":
+        """A copy with the tag for ``domain`` overridden to ``iteration``."""
+        tags = dict(self.tags)
+        tags[domain] = iteration
+        return Token(self.value, tags, self.version)
+
+    def tag(self, domain: int) -> int:
+        """Iteration tag for ``domain``; ``-1`` when untagged."""
+        return self.tags.get(domain, -1)
+
+    def is_squashed_by(self, domain: int, min_iter: int) -> bool:
+        """True when a squash of ``domain`` iterations ``>= min_iter`` kills us."""
+        return self.tags.get(domain, -1) >= min_iter
+
+
+def merge_tags(tokens: Iterable[Token]) -> Dict[int, int]:
+    """Max-merge the tags of ``tokens`` (union of domains, max iteration).
+
+    Used by every multi-input component so that derived values inherit the
+    speculation of all their sources.
+    """
+    merged: Dict[int, int] = {}
+    for tok in tokens:
+        if tok is None:
+            continue
+        for dom, it in tok.tags.items():
+            if merged.get(dom, -1) < it:
+                merged[dom] = it
+    return merged
+
+
+def combine(value: Any, *sources: Token) -> Token:
+    """A new token with ``value`` and tags merged from ``sources``."""
+    return Token(value, merge_tags(sources))

@@ -1,0 +1,46 @@
+"""Optional waveform-style tracing for debugging circuits."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+
+class ChannelTrace:
+    """Records per-cycle handshake events for selected channels.
+
+    Each event is ``(cycle, channel_name, state, value)`` where state is one
+    of ``"fire"``, ``"stall"`` (valid without ready) or nothing for idle
+    channels (idle cycles are not recorded to keep traces small).
+    """
+
+    def __init__(self, channel_filter: Optional[Callable[[str], bool]] = None):
+        self.channel_filter = channel_filter
+        self.events: List[Tuple[int, str, str, object]] = []
+
+    def capture(self, circuit, cycle: int) -> None:
+        for chan in circuit.channels:
+            if self.channel_filter is not None and not self.channel_filter(chan.name):
+                continue
+            if chan.fires:
+                value = chan.data.value if chan.data is not None else None
+                self.events.append((cycle, chan.name, "fire", value))
+            elif chan.valid:
+                value = chan.data.value if chan.data is not None else None
+                self.events.append((cycle, chan.name, "stall", value))
+
+    def fires(self, channel_name: str) -> List[Tuple[int, object]]:
+        """All (cycle, value) transfers observed on one channel."""
+        return [
+            (cycle, value)
+            for cycle, name, state, value in self.events
+            if name == channel_name and state == "fire"
+        ]
+
+    def format(self, limit: int = 200) -> str:
+        lines = [
+            f"{cycle:>6} {state:<5} {name} = {value!r}"
+            for cycle, name, state, value in self.events[:limit]
+        ]
+        if len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more events)")
+        return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Graphviz DOT export of elastic circuits.
+
+Color-codes the component families (memory-ordering hardware, compute,
+control, buffers) so generated circuits can be inspected visually:
+
+    from repro.dataflow.visualize import to_dot
+    open("circuit.dot", "w").write(to_dot(build.circuit))
+    # dot -Tsvg circuit.dot -o circuit.svg
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+_FAMILY_STYLE = {
+    "lsq": ("box3d", "#e39898"),
+    "prevv_unit": ("box3d", "#98c1e3"),
+    "replay_gate": ("house", "#b6d7f2"),
+    "memory_controller": ("cylinder", "#d9c386"),
+    "fork": ("triangle", "#d5d5d5"),
+    "join": ("invtriangle", "#d5d5d5"),
+    "merge": ("trapezium", "#cfe3c7"),
+    "cmerge": ("trapezium", "#a9d69a"),
+    "mux": ("invtrapezium", "#cfe3c7"),
+    "branch": ("diamond", "#cfe3c7"),
+    "oehb": ("rect", "#efe6a7"),
+    "tehb": ("rect", "#f4efc5"),
+    "fifo": ("rect", "#efe6a7"),
+    "add": ("ellipse", "#c6b8e0"),
+    "mul": ("ellipse", "#b5a1dd"),
+    "div": ("ellipse", "#a287d6"),
+    "cmp": ("ellipse", "#d3cbe6"),
+    "logic": ("ellipse", "#d3cbe6"),
+    "shift": ("ellipse", "#d3cbe6"),
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def to_dot(
+    circuit,
+    include_slack: bool = False,
+    rankdir: str = "TB",
+) -> str:
+    """Render ``circuit`` as a Graphviz digraph.
+
+    ``include_slack=False`` collapses the transparent slack FIFOs the
+    buffer-placement pass inserts on fork outputs (they dominate the node
+    count but carry no structural insight); edges are drawn through them.
+    """
+    skip: Dict[str, tuple] = {}
+    if not include_slack:
+        for comp in circuit.components:
+            if comp.name.startswith("slk_"):
+                in_chan = comp.inputs.get("in")
+                out_chan = comp.outputs.get("out")
+                if in_chan is not None and out_chan is not None:
+                    skip[comp.name] = (in_chan, out_chan)
+
+    lines = [
+        "digraph circuit {",
+        f'  rankdir={rankdir};',
+        '  node [fontsize=9, style=filled, fillcolor="#eeeeee"];',
+        "  edge [fontsize=7];",
+    ]
+    for comp in circuit.components:
+        if comp.name in skip:
+            continue
+        shape, color = _FAMILY_STYLE.get(
+            comp.resource_class or "", ("rect", "#eeeeee")
+        )
+        lines.append(
+            f'  "{_escape(comp.name)}" [shape={shape}, '
+            f'fillcolor="{color}"];'
+        )
+
+    def resolve_producer(chan):
+        # Walk backward through skipped slack buffers.
+        while chan.producer is not None and chan.producer.name in skip:
+            chan = skip[chan.producer.name][0]
+        return chan.producer
+
+    for chan in circuit.channels:
+        if chan.producer is None or chan.consumer is None:
+            continue
+        if chan.consumer.name in skip:
+            continue  # drawn when we reach the slack buffer's output edge
+        producer = resolve_producer(chan)
+        if producer is None or producer.name in skip:
+            continue
+        style = ' [style=dashed]' if chan.is_backedge else ""
+        lines.append(
+            f'  "{_escape(producer.name)}" -> '
+            f'"{_escape(chan.consumer.name)}"{style};'
+        )
+    lines.append("}")
+    return "\n".join(lines)

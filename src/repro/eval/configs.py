@@ -1,0 +1,31 @@
+"""The four hardware configurations evaluated in the paper.
+
+* ``DYNAMATIC`` — plain Dynamatic [15]: LSQ with group allocation through
+  the control network (slow token delivery);
+* ``FAST_LSQ``  — Dynamatic plus the fast LSQ-allocation plugin [8];
+* ``PREVV16``   — this paper, premature queue depth 16;
+* ``PREVV64``   — this paper, premature queue depth 64.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..config import HardwareConfig
+
+DYNAMATIC = HardwareConfig(name="dynamatic", memory_style="dynamatic")
+FAST_LSQ = HardwareConfig(name="fast_lsq", memory_style="fast")
+PREVV16 = HardwareConfig(name="prevv16", memory_style="prevv", prevv_depth=16)
+PREVV64 = HardwareConfig(name="prevv64", memory_style="prevv", prevv_depth=64)
+
+#: the paper's column order in Tables I and II
+ALL_CONFIGS: List[HardwareConfig] = [DYNAMATIC, FAST_LSQ, PREVV16, PREVV64]
+
+BY_NAME: Dict[str, HardwareConfig] = {c.name: c for c in ALL_CONFIGS}
+
+
+def prevv_with_depth(depth: int) -> HardwareConfig:
+    """A PreVV configuration with an arbitrary premature-queue depth."""
+    return HardwareConfig(
+        name=f"prevv{depth}", memory_style="prevv", prevv_depth=depth
+    )

@@ -1,0 +1,130 @@
+"""Regeneration of the paper's Fig. 1 and Fig. 7 data series.
+
+* Fig. 1 — share of circuit resources (LUT+FF+mux) consumed by the
+  memory-ordering hardware (the LSQ) in plain-Dynamatic circuits: "more
+  than 80% of the resources are allocated to LSQ while resources for
+  calculation only occupies less than 20%".
+* Fig. 7 — LUT (solid) and FF (dashed) of [8], PreVV16 and PreVV64,
+  normalized to plain Dynamatic [15], per kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..area import (
+    CATEGORY_COMPUTE,
+    CATEGORY_MEMORY,
+    circuit_report,
+)
+from ..compile import compile_function
+from ..config import HardwareConfig
+from ..kernels import PAPER_KERNELS, get_kernel
+from .configs import ALL_CONFIGS, DYNAMATIC
+
+
+@dataclass
+class Fig1Row:
+    """Resource breakdown of one plain-Dynamatic circuit."""
+
+    kernel: str
+    ordering_share: float      # LSQ fraction (Fig. 1's dominant bar)
+    compute_share: float       # "calculation" fraction
+    other_share: float
+    total_luts: float
+
+
+def fig1_lsq_share(kernels: Optional[Sequence[str]] = None) -> List[Fig1Row]:
+    rows = []
+    for kname in kernels or PAPER_KERNELS:
+        kernel = get_kernel(kname)
+        build = compile_function(kernel.build_ir(), DYNAMATIC, args=kernel.args)
+        report = circuit_report(build.circuit)
+
+        def share(category):
+            part = report.by_category.get(category)
+            total = report.total.luts + report.total.ffs + report.total.muxes
+            if part is None or total == 0:
+                return 0.0
+            return (part.luts + part.ffs + part.muxes) / total
+
+        ordering = share(CATEGORY_MEMORY)
+        compute = share(CATEGORY_COMPUTE)
+        rows.append(
+            Fig1Row(
+                kernel=kname,
+                ordering_share=ordering,
+                compute_share=compute,
+                other_share=max(0.0, 1.0 - ordering - compute),
+                total_luts=report.total.luts,
+            )
+        )
+    return rows
+
+
+def format_fig1(rows: List[Fig1Row]) -> str:
+    lines = [
+        f"{'Benchmark':<12}{'LSQ share':>12}{'compute':>10}{'other':>10}"
+        f"{'total LUT':>12}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.kernel:<12}{row.ordering_share:>11.1%} "
+            f"{row.compute_share:>9.1%}{row.other_share:>10.1%}"
+            f"{row.total_luts:>12.0f}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class Fig7Series:
+    """Normalized resource series for one configuration."""
+
+    config: str
+    luts: Dict[str, float] = field(default_factory=dict)  # kernel -> ratio
+    ffs: Dict[str, float] = field(default_factory=dict)
+
+
+def fig7_normalized(
+    kernels: Optional[Sequence[str]] = None,
+    configs: Optional[Sequence[HardwareConfig]] = None,
+) -> List[Fig7Series]:
+    """LUT/FF of each config normalized to plain Dynamatic, per kernel."""
+    kernels = list(kernels or PAPER_KERNELS)
+    configs = list(configs or ALL_CONFIGS)
+    absolute: Dict[str, Dict[str, tuple]] = {}
+    for kname in kernels:
+        absolute[kname] = {}
+        for cfg in configs:
+            kernel = get_kernel(kname)
+            build = compile_function(kernel.build_ir(), cfg, args=kernel.args)
+            report = circuit_report(build.circuit)
+            absolute[kname][cfg.name] = (report.total.luts, report.total.ffs)
+    series = []
+    for cfg in configs:
+        if cfg.name == DYNAMATIC.name:
+            continue
+        row = Fig7Series(cfg.name)
+        for kname in kernels:
+            base_l, base_f = absolute[kname][DYNAMATIC.name]
+            lut, ff = absolute[kname][cfg.name]
+            row.luts[kname] = lut / base_l
+            row.ffs[kname] = ff / base_f
+        series.append(row)
+    return series
+
+
+def format_fig7(series: List[Fig7Series]) -> str:
+    kernels = list(next(iter(series)).luts) if series else []
+    lines = [f"{'config':<10}{'metric':<8}" + "".join(f"{k:>12}" for k in kernels)]
+    for row in series:
+        lines.append(
+            f"{row.config:<10}{'LUT':<8}"
+            + "".join(f"{row.luts[k]:>12.3f}" for k in kernels)
+        )
+        lines.append(
+            f"{row.config:<10}{'FF':<8}"
+            + "".join(f"{row.ffs[k]:>12.3f}" for k in kernels)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Markdown report generation: one document with every regenerated artefact.
+
+``python -m repro.eval.report [out.md]`` writes a self-contained markdown
+report with Fig. 1, Table I, Fig. 7 and Table II next to the paper's
+numbers — the automated counterpart of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, Sequence
+
+from .figures import fig1_lsq_share, fig7_normalized, format_fig1, format_fig7
+from .tables import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    format_table1,
+    format_table2,
+    table1,
+    table2,
+)
+
+
+def generate_report(
+    kernels: Optional[Sequence[str]] = None,
+    include_timing: bool = True,
+) -> str:
+    """Regenerate every artefact and return one markdown document.
+
+    ``include_timing=False`` skips Table II (the only part that needs
+    cycle-accurate simulation) for a fast area-only report.
+    """
+    sections = ["# PreVV reproduction report", ""]
+    started = time.strftime("%Y-%m-%d %H:%M:%S")
+    sections.append(f"Generated {started}.")
+    sections.append("")
+
+    sections.append("## Fig. 1 — LSQ resource share (plain Dynamatic)")
+    sections.append("```")
+    sections.append(format_fig1(fig1_lsq_share(kernels)))
+    sections.append("```")
+    sections.append("")
+
+    sections.append("## Table I — resource usage")
+    sections.append("```")
+    sections.append(format_table1(table1(kernels)))
+    sections.append("```")
+    sections.append("Paper cells:")
+    sections.append("```")
+    for kernel, cells in PAPER_TABLE1.items():
+        row = "  ".join(
+            f"{cfg}: LUT={lut} FF={ff}" for cfg, (lut, ff) in cells.items()
+        )
+        sections.append(f"{kernel:12s} {row}")
+    sections.append("```")
+    sections.append("")
+
+    sections.append("## Fig. 7 — resources normalized to Dynamatic")
+    sections.append("```")
+    sections.append(format_fig7(fig7_normalized(kernels)))
+    sections.append("```")
+    sections.append("")
+
+    if include_timing:
+        sections.append("## Table II — timing")
+        sections.append("```")
+        sections.append(format_table2(table2(kernels)))
+        sections.append("```")
+        sections.append("Paper cells:")
+        sections.append("```")
+        for kernel, cells in PAPER_TABLE2.items():
+            row = "  ".join(
+                f"{cfg}: cyc={c} CP={p} us={u}"
+                for cfg, (c, p, u) in cells.items()
+            )
+            sections.append(f"{kernel:12s} {row}")
+        sections.append("```")
+        sections.append("")
+
+    return "\n".join(sections)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    out_path = argv[0] if argv else "prevv_report.md"
+    report = generate_report()
+    with open(out_path, "w") as handle:
+        handle.write(report)
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,132 @@
+"""Compile -> simulate -> verify -> measure, for one kernel and config.
+
+The runner is the reproduction of the paper's evaluation loop: generate
+the circuit (Dynamatic/LSQ/PreVV), simulate it cycle-accurately
+(ModelSim's role), check the final memory state against the interpreter
+golden run (the C++ reference), and attach the area/timing estimates
+(Vivado's role).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..compile import BuildResult, compile_function
+from ..config import HardwareConfig
+from ..dataflow import Simulator
+from ..errors import SimulationError
+from ..ir import Function, run_golden
+
+
+@dataclass
+class RunResult:
+    """Everything measured for one (kernel, config) evaluation point."""
+
+    kernel: str
+    config: HardwareConfig
+    cycles: int
+    verified: bool
+    memory: Dict[str, List[int]]
+    golden: Dict[str, List[int]]
+    squashes: int = 0
+    squashed_iterations: int = 0
+    benign_reorders: int = 0
+    violations_by_kind: Dict[str, int] = field(default_factory=dict)
+    fake_tokens: int = 0
+    queue_max_occupancy: int = 0
+    queue_full_stalls: int = 0
+    lsq_alloc_stalls: int = 0
+    transfers: int = 0
+    build: Optional[BuildResult] = None
+
+    @property
+    def mismatch_summary(self) -> str:
+        lines = []
+        for name in sorted(self.golden):
+            got, want = self.memory.get(name), self.golden[name]
+            if got != want:
+                diffs = [
+                    f"[{i}] got {g} want {w}"
+                    for i, (g, w) in enumerate(zip(got, want))
+                    if g != w
+                ][:5]
+                lines.append(f"{name}: " + "; ".join(diffs))
+        return "\n".join(lines) or "(no mismatch)"
+
+
+def make_done_condition(build: BuildResult):
+    """Completion: exit token seen and the circuit fully quiescent.
+
+    Quiescence means no channel offers a token and no component has
+    internal work pending — i.e. every store has drained through its
+    memory interface and every PreVV packet has been validated/retired.
+    """
+
+    def done() -> bool:
+        if build.exit_sink.count < 1:
+            return False
+        if any(c.valid for c in build.circuit.channels):
+            return False
+        if any(c.is_busy for c in build.circuit.components):
+            return False
+        for unit in build.units:
+            if unit.queue.occupancy or any(unit._pending):
+                return False
+        if build.units and build.memory.log_length:
+            return False
+        return True
+
+    return done
+
+
+def run_kernel(
+    kernel,
+    config: HardwareConfig,
+    max_cycles: int = 2_000_000,
+    keep_build: bool = False,
+) -> RunResult:
+    """Evaluate one kernel (a :class:`repro.kernels.Kernel`) under ``config``."""
+    fn = kernel.build_ir()
+    golden = run_golden(fn, args=kernel.args, memory=kernel.memory_init)
+    build = compile_function(fn, config, args=kernel.args)
+    build.memory.initialize(kernel.memory_init)
+
+    sim = Simulator(build.circuit, max_cycles=max_cycles)
+    if build.squash_controller is not None:
+        sim.end_of_cycle_hooks.append(build.squash_controller.end_of_cycle)
+    sim.run(make_done_condition(build))
+
+    final = build.memory.snapshot()
+    verified = all(
+        final.get(name) == values for name, values in golden.memory.items()
+    )
+
+    result = RunResult(
+        kernel=kernel.name,
+        config=config,
+        cycles=sim.stats.cycles,
+        verified=verified,
+        memory=final,
+        golden=golden.memory,
+        transfers=sim.stats.transfers,
+        build=build if keep_build else None,
+    )
+    if build.squash_controller is not None:
+        ctrl = build.squash_controller
+        result.squashes = ctrl.squashes
+        result.squashed_iterations = ctrl.squashed_iterations
+    for unit in build.units:
+        result.benign_reorders += unit.benign_reorders
+        result.fake_tokens += unit.fake_tokens
+        result.queue_max_occupancy = max(
+            result.queue_max_occupancy, unit.queue.max_occupancy
+        )
+        result.queue_full_stalls += unit.queue.full_stalls
+        for kind, count in unit.violations_by_kind.items():
+            result.violations_by_kind[kind] = (
+                result.violations_by_kind.get(kind, 0) + count
+            )
+    for lsq in build.lsqs:
+        result.lsq_alloc_stalls += lsq.alloc_stalls
+    return result

@@ -1,0 +1,30 @@
+"""Small statistics helpers for the evaluation tables."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's 'goemean' rows)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percent_delta(new: float, base: float) -> float:
+    """Relative change in percent (negative = reduction), as the paper
+    reports 'PreVV16 vs. [8]' columns."""
+    if base == 0:
+        raise ValueError("baseline is zero")
+    return 100.0 * (new - base) / base
+
+
+def geomean_delta(pairs: Iterable) -> float:
+    """Geomean of new/base ratios expressed as a percent delta."""
+    ratios = [new / base for new, base in pairs]
+    return 100.0 * (geomean(ratios) - 1.0)

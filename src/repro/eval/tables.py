@@ -1,0 +1,184 @@
+"""Regeneration of the paper's Table I (resources) and Table II (timing).
+
+Each function compiles+measures (Table I needs no simulation; Table II
+simulates) and returns structured rows plus a formatter that prints the
+same columns the paper prints, including the ``vs. [8]`` percentage
+columns and the geomean row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..area import circuit_report, clock_period, execution_time_us
+from ..compile import compile_function
+from ..config import HardwareConfig
+from ..kernels import PAPER_KERNELS, get_kernel
+from .configs import ALL_CONFIGS
+from .runner import run_kernel
+from .stats import geomean, percent_delta
+
+#: paper values for side-by-side reporting in EXPERIMENTS.md
+PAPER_TABLE1 = {
+    # kernel: {config: (LUT, FF)}
+    "polyn_mult": {"dynamatic": (20086, 2009), "fast_lsq": (21567, 2101),
+                   "prevv16": (14564, 1251), "prevv64": (17859, 1785)},
+    "2mm": {"dynamatic": (39330, 8918), "fast_lsq": (22190, 8715),
+            "prevv16": (10487, 4014), "prevv64": (14518, 4687)},
+    "3mm": {"dynamatic": (57212, 9771), "fast_lsq": (39742, 7661),
+            "prevv16": (24157, 3847), "prevv64": (27842, 4494)},
+    "gaussian": {"dynamatic": (18383, 4339), "fast_lsq": (19665, 4620),
+                 "prevv16": (10687, 2451), "prevv64": (13697, 2845)},
+    "triangular": {"dynamatic": (19830, 5921), "fast_lsq": (20581, 6078),
+                   "prevv16": (9814, 3951), "prevv64": (15648, 4589)},
+}
+
+PAPER_TABLE2 = {
+    # kernel: {config: (cycles, CP ns, exec us)}
+    "polyn_mult": {"dynamatic": (2701, 7.26, 19.61), "fast_lsq": (2401, 7.24, 17.38),
+                   "prevv16": (2512, 7.2, 18.09), "prevv64": (2314, 7.2, 16.66)},
+    "2mm": {"dynamatic": (3231, 7.80, 25.20), "fast_lsq": (2498, 7.77, 19.41),
+            "prevv16": (2789, 7.68, 21.42), "prevv64": (2471, 7.63, 18.85)},
+    "3mm": {"dynamatic": (4382, 8.29, 36.33), "fast_lsq": (2498, 7.78, 19.43),
+            "prevv16": (2789, 7.7, 21.48), "prevv64": (2471, 7.72, 19.08)},
+    "gaussian": {"dynamatic": (7651, 8.16, 62.43), "fast_lsq": (6871, 8.16, 56.07),
+                 "prevv16": (8754, 8.06, 70.56), "prevv64": (6681, 8.06, 53.85)},
+    "triangular": {"dynamatic": (9895, 9.18, 90.84), "fast_lsq": (9892, 7.36, 72.81),
+                   "prevv16": (9912, 7.31, 72.46), "prevv64": (9812, 7.31, 71.73)},
+}
+
+
+@dataclass
+class Table1Row:
+    kernel: str
+    luts: Dict[str, float] = field(default_factory=dict)
+    ffs: Dict[str, float] = field(default_factory=dict)
+
+    def delta(self, metric: str, config: str, base: str = "fast_lsq") -> float:
+        values = getattr(self, metric)
+        return percent_delta(values[config], values[base])
+
+
+@dataclass
+class Table2Row:
+    kernel: str
+    cycles: Dict[str, int] = field(default_factory=dict)
+    period: Dict[str, float] = field(default_factory=dict)
+    exec_us: Dict[str, float] = field(default_factory=dict)
+    verified: Dict[str, bool] = field(default_factory=dict)
+
+    def delta(self, config: str, base: str = "fast_lsq") -> float:
+        return percent_delta(self.exec_us[config], self.exec_us[base])
+
+
+def table1(
+    kernels: Optional[Sequence[str]] = None,
+    configs: Optional[Sequence[HardwareConfig]] = None,
+) -> List[Table1Row]:
+    """Resource usage (Table I) for every kernel under every config."""
+    rows = []
+    for kname in kernels or PAPER_KERNELS:
+        row = Table1Row(kname)
+        for cfg in configs or ALL_CONFIGS:
+            kernel = get_kernel(kname)
+            build = compile_function(kernel.build_ir(), cfg, args=kernel.args)
+            report = circuit_report(build.circuit)
+            row.luts[cfg.name] = round(report.total.luts)
+            row.ffs[cfg.name] = round(report.total.ffs)
+        rows.append(row)
+    return rows
+
+
+def table2(
+    kernels: Optional[Sequence[str]] = None,
+    configs: Optional[Sequence[HardwareConfig]] = None,
+    max_cycles: int = 2_000_000,
+) -> List[Table2Row]:
+    """Timing (Table II): simulated cycles x modelled clock period."""
+    rows = []
+    for kname in kernels or PAPER_KERNELS:
+        row = Table2Row(kname)
+        for cfg in configs or ALL_CONFIGS:
+            kernel = get_kernel(kname)
+            result = run_kernel(kernel, cfg, max_cycles=max_cycles,
+                                keep_build=True)
+            period = clock_period(result.build.circuit)
+            row.cycles[cfg.name] = result.cycles
+            row.period[cfg.name] = round(period, 2)
+            row.exec_us[cfg.name] = round(
+                execution_time_us(result.cycles, period), 2
+            )
+            row.verified[cfg.name] = result.verified
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Formatting
+# ----------------------------------------------------------------------
+def _geomean_deltas(rows, metric: str, config: str, base: str = "fast_lsq"):
+    values = getattr(rows[0], metric)
+    ratios = [
+        getattr(r, metric)[config] / getattr(r, metric)[base] for r in rows
+    ]
+    return 100.0 * (geomean(ratios) - 1.0)
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    configs = ["dynamatic", "fast_lsq", "prevv16", "prevv64"]
+    header = (
+        f"{'Benchmark':<12}"
+        + "".join(f"{c + '.LUT':>12}" for c in configs)
+        + f"{'P16vs[8]':>10}{'P64vs[8]':>10}"
+        + "".join(f"{c + '.FF':>12}" for c in configs)
+        + f"{'P16vs[8]':>10}{'P64vs[8]':>10}"
+    )
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"{row.kernel:<12}"
+            + "".join(f"{row.luts[c]:>12.0f}" for c in configs)
+            + f"{row.delta('luts', 'prevv16'):>+10.2f}"
+            + f"{row.delta('luts', 'prevv64'):>+10.2f}"
+            + "".join(f"{row.ffs[c]:>12.0f}" for c in configs)
+            + f"{row.delta('ffs', 'prevv16'):>+10.2f}"
+            + f"{row.delta('ffs', 'prevv64'):>+10.2f}"
+        )
+    lines.append(
+        f"{'geomean':<12}" + " " * 48
+        + f"{_geomean_deltas(rows, 'luts', 'prevv16'):>+10.2f}"
+        + f"{_geomean_deltas(rows, 'luts', 'prevv64'):>+10.2f}"
+        + " " * 48
+        + f"{_geomean_deltas(rows, 'ffs', 'prevv16'):>+10.2f}"
+        + f"{_geomean_deltas(rows, 'ffs', 'prevv64'):>+10.2f}"
+    )
+    return "\n".join(lines)
+
+
+def format_table2(rows: List[Table2Row]) -> str:
+    configs = ["dynamatic", "fast_lsq", "prevv16", "prevv64"]
+    header = (
+        f"{'Benchmark':<12}"
+        + "".join(f"{c + '.cyc':>12}" for c in configs)
+        + "".join(f"{c + '.CP':>10}" for c in configs)
+        + "".join(f"{c + '.us':>10}" for c in configs)
+        + f"{'P16vs[8]':>10}{'P64vs[8]':>10}{'ok':>4}"
+    )
+    lines = [header]
+    for row in rows:
+        ok = "y" if all(row.verified.values()) else "N"
+        lines.append(
+            f"{row.kernel:<12}"
+            + "".join(f"{row.cycles[c]:>12d}" for c in configs)
+            + "".join(f"{row.period[c]:>10.2f}" for c in configs)
+            + "".join(f"{row.exec_us[c]:>10.2f}" for c in configs)
+            + f"{row.delta('prevv16'):>+10.2f}{row.delta('prevv64'):>+10.2f}"
+            + f"{ok:>4}"
+        )
+    lines.append(
+        f"{'geomean':<12}" + " " * 128
+        + f"{_geomean_deltas(rows, 'exec_us', 'prevv16'):>+10.2f}"
+        + f"{_geomean_deltas(rows, 'exec_us', 'prevv64'):>+10.2f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""HLS intermediate representation: the input language of the flow.
+
+An IR :class:`Function` is the analogue of the LLVM IR that Dynamatic
+consumes — SSA basic blocks with phis, integer arithmetic, loads/stores on
+declared arrays, and branch terminators.  The :class:`Interpreter` is the
+golden model (the paper's C++ reference run).
+"""
+
+from .types import I1, I8, I32, I64, VOID, IntType, Type, VoidType
+from .values import Argument, ArrayDecl, ConstInt, Value
+from .instructions import (
+    BINARY_OPCODES,
+    COMPARISON_OPCODES,
+    BinaryInst,
+    BranchInst,
+    Instruction,
+    JumpInst,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+)
+from .basicblock import BasicBlock
+from .function import Function
+from .builder import IRBuilder
+from .interpreter import InterpResult, Interpreter, MemoryTrace, TraceEvent, run_golden
+from .loops import Loop, back_edges, dominators, find_loops, innermost_loop_of
+from .printer import print_function
+from .verify import verify_function
+
+__all__ = [
+    "I1",
+    "I8",
+    "I32",
+    "I64",
+    "VOID",
+    "IntType",
+    "Type",
+    "VoidType",
+    "Argument",
+    "ArrayDecl",
+    "ConstInt",
+    "Value",
+    "BINARY_OPCODES",
+    "COMPARISON_OPCODES",
+    "BinaryInst",
+    "BranchInst",
+    "Instruction",
+    "JumpInst",
+    "LoadInst",
+    "PhiInst",
+    "RetInst",
+    "SelectInst",
+    "StoreInst",
+    "BasicBlock",
+    "Function",
+    "IRBuilder",
+    "InterpResult",
+    "Interpreter",
+    "MemoryTrace",
+    "TraceEvent",
+    "run_golden",
+    "Loop",
+    "back_edges",
+    "dominators",
+    "find_loops",
+    "innermost_loop_of",
+    "print_function",
+    "verify_function",
+]

@@ -1,0 +1,60 @@
+"""Basic blocks: straight-line instruction sequences with one terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..errors import IRError
+from .instructions import Instruction, LoadInst, PhiInst, StoreInst
+
+
+class BasicBlock:
+    """A basic block: phis, then body instructions, then a terminator."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.phis: List[PhiInst] = []
+        self.instructions: List[Instruction] = []
+        self.parent = None  # Function, set on add
+
+    # ------------------------------------------------------------------
+    def append(self, inst: Instruction) -> Instruction:
+        if self.terminator is not None:
+            raise IRError(f"block {self.name}: instruction after terminator")
+        if isinstance(inst, PhiInst):
+            if self.instructions:
+                raise IRError(f"block {self.name}: phi after non-phi instruction")
+            self.phis.append(inst)
+        else:
+            self.instructions.append(inst)
+        inst.parent = self
+        return inst
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def body(self) -> List[Instruction]:
+        """Non-phi, non-terminator instructions."""
+        term = self.terminator
+        end = -1 if term is not None else len(self.instructions)
+        return self.instructions[:end] if term is not None else list(self.instructions)
+
+    @property
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        return list(term.successors) if term is not None else []
+
+    def all_instructions(self) -> Iterator[Instruction]:
+        yield from self.phis
+        yield from self.instructions
+
+    def memory_ops(self) -> List[Instruction]:
+        """Loads and stores in program order within the block."""
+        return [i for i in self.instructions if isinstance(i, (LoadInst, StoreInst))]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BasicBlock({self.name})"

@@ -1,0 +1,201 @@
+"""Fluent builder for constructing IR functions.
+
+Example — ``for (i = 0; i < n; ++i) c[i] = a[i] + b[i];``::
+
+    fn = Function("vadd")
+    b = IRBuilder(fn)
+    n = b.arg("n")
+    a, bb_, c = b.array("a", 64), b.array("b", 64), b.array("c", 64)
+
+    entry, header, body, exit_ = b.blocks("entry", "header", "body", "exit")
+    b.at(entry).jmp(header)
+
+    b.at(header)
+    i = b.phi("i")
+    i.add_incoming(entry, b.const(0))
+    b.br(b.lt(i, n), body, exit_)
+
+    b.at(body)
+    total = b.add(b.load(a, i), b.load(bb_, i))
+    b.store(c, i, total)
+    i_next = b.add(i, b.const(1), name="i_next")
+    i.add_incoming(body, i_next)
+    b.jmp(header)
+
+    b.at(exit_).ret()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..errors import IRError
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (
+    BinaryInst,
+    BranchInst,
+    JumpInst,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+)
+from .types import I32, IntType, Type
+from .values import Argument, ArrayDecl, ConstInt, Value
+
+Operand = Union[Value, int]
+
+
+class IRBuilder:
+    """Positioned instruction builder with automatic naming."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self._block: Optional[BasicBlock] = None
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def arg(self, name: str, type_: Type = I32) -> Argument:
+        return self.function.add_arg(Argument(name, type_))
+
+    def array(self, name: str, size: int, elem_type: Optional[IntType] = None):
+        return self.function.add_array(ArrayDecl(name, size, elem_type))
+
+    def block(self, name: str) -> BasicBlock:
+        return self.function.add_block(BasicBlock(name))
+
+    def blocks(self, *names: str):
+        return tuple(self.block(n) for n in names)
+
+    def at(self, block: BasicBlock) -> "IRBuilder":
+        """Position subsequent emissions at the end of ``block``."""
+        self._block = block
+        return self
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def const(self, value: int, type_: Optional[IntType] = None) -> ConstInt:
+        return ConstInt(value, type_)
+
+    def _as_value(self, operand: Operand) -> Value:
+        if isinstance(operand, Value):
+            return operand
+        if isinstance(operand, int):
+            return ConstInt(operand)
+        raise IRError(f"cannot use {operand!r} as an operand")
+
+    def _name(self, prefix: str, explicit: Optional[str]) -> str:
+        if explicit is not None:
+            return explicit
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _emit(self, inst):
+        if self._block is None:
+            raise IRError("builder is not positioned at a block (call .at(...))")
+        return self._block.append(inst)
+
+    # ------------------------------------------------------------------
+    # Instructions
+    # ------------------------------------------------------------------
+    def binary(self, opcode: str, lhs: Operand, rhs: Operand,
+               name: Optional[str] = None) -> BinaryInst:
+        lhs, rhs = self._as_value(lhs), self._as_value(rhs)
+        return self._emit(BinaryInst(self._name(opcode, name), opcode, lhs, rhs))
+
+    # Arithmetic / logic conveniences -----------------------------------
+    def add(self, a, b, name=None):
+        return self.binary("add", a, b, name)
+
+    def sub(self, a, b, name=None):
+        return self.binary("sub", a, b, name)
+
+    def mul(self, a, b, name=None):
+        return self.binary("mul", a, b, name)
+
+    def div(self, a, b, name=None):
+        return self.binary("div", a, b, name)
+
+    def rem(self, a, b, name=None):
+        return self.binary("rem", a, b, name)
+
+    def and_(self, a, b, name=None):
+        return self.binary("and", a, b, name)
+
+    def or_(self, a, b, name=None):
+        return self.binary("or", a, b, name)
+
+    def xor(self, a, b, name=None):
+        return self.binary("xor", a, b, name)
+
+    def shl(self, a, b, name=None):
+        return self.binary("shl", a, b, name)
+
+    def shr(self, a, b, name=None):
+        return self.binary("shr", a, b, name)
+
+    # Comparisons --------------------------------------------------------
+    def eq(self, a, b, name=None):
+        return self.binary("eq", a, b, name)
+
+    def ne(self, a, b, name=None):
+        return self.binary("ne", a, b, name)
+
+    def lt(self, a, b, name=None):
+        return self.binary("lt", a, b, name)
+
+    def le(self, a, b, name=None):
+        return self.binary("le", a, b, name)
+
+    def gt(self, a, b, name=None):
+        return self.binary("gt", a, b, name)
+
+    def ge(self, a, b, name=None):
+        return self.binary("ge", a, b, name)
+
+    # Misc ----------------------------------------------------------------
+    def select(self, cond: Operand, if_true: Operand, if_false: Operand,
+               name: Optional[str] = None) -> SelectInst:
+        return self._emit(
+            SelectInst(
+                self._name("sel", name),
+                self._as_value(cond),
+                self._as_value(if_true),
+                self._as_value(if_false),
+            )
+        )
+
+    def phi(self, name: Optional[str] = None, type_: Type = I32) -> PhiInst:
+        return self._emit(PhiInst(self._name("phi", name), type_))
+
+    def load(self, array: ArrayDecl, index: Operand,
+             name: Optional[str] = None) -> LoadInst:
+        return self._emit(
+            LoadInst(self._name("ld", name), array, self._as_value(index))
+        )
+
+    def store(self, array: ArrayDecl, index: Operand, value: Operand) -> StoreInst:
+        return self._emit(
+            StoreInst(
+                self._name("st", None),
+                array,
+                self._as_value(index),
+                self._as_value(value),
+            )
+        )
+
+    # Terminators ----------------------------------------------------------
+    def br(self, cond: Operand, if_true: BasicBlock, if_false: BasicBlock):
+        return self._emit(BranchInst(self._as_value(cond), if_true, if_false))
+
+    def jmp(self, target: BasicBlock):
+        return self._emit(JumpInst(target))
+
+    def ret(self, value: Optional[Operand] = None):
+        val = self._as_value(value) if value is not None else None
+        return self._emit(RetInst(val))

@@ -1,0 +1,212 @@
+"""IR instructions.
+
+The instruction set is the subset of LLVM that Dynamatic's elastic pass
+consumes: integer arithmetic/compares, select, phi, load/store with a
+single index operand per array, and the control terminators.  Every
+non-terminator instruction is itself a :class:`~repro.ir.values.Value`
+(LLVM style: the instruction *is* its result).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from .types import I1, I32, VOID, Type
+from .values import ArrayDecl, Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .basicblock import BasicBlock
+
+#: opcodes accepted by BinaryInst, matching repro.dataflow.arith.OP_TABLE
+BINARY_OPCODES = (
+    "add", "sub", "mul", "div", "rem",
+    "and", "or", "xor", "shl", "shr",
+    "eq", "ne", "lt", "le", "gt", "ge",
+)
+COMPARISON_OPCODES = ("eq", "ne", "lt", "le", "gt", "ge")
+
+
+class Instruction(Value):
+    """Base class; ``operands`` lists every consumed Value."""
+
+    def __init__(self, name: str, type_: Type):
+        super().__init__(name, type_)
+        self.parent: Optional["BasicBlock"] = None
+
+    @property
+    def operands(self) -> List[Value]:
+        return []
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        raise NotImplementedError
+
+    @property
+    def is_terminator(self) -> bool:
+        return False
+
+
+class BinaryInst(Instruction):
+    def __init__(self, name: str, opcode: str, lhs: Value, rhs: Value,
+                 type_: Optional[Type] = None):
+        if opcode not in BINARY_OPCODES:
+            raise ValueError(f"unknown binary opcode {opcode!r}")
+        result_type = I1 if opcode in COMPARISON_OPCODES else (type_ or lhs.type)
+        super().__init__(name, result_type)
+        self.opcode = opcode
+        self.lhs = lhs
+        self.rhs = rhs
+
+    @property
+    def operands(self) -> List[Value]:
+        return [self.lhs, self.rhs]
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        if self.lhs is old:
+            self.lhs = new
+        if self.rhs is old:
+            self.rhs = new
+
+
+class SelectInst(Instruction):
+    def __init__(self, name: str, cond: Value, if_true: Value, if_false: Value):
+        super().__init__(name, if_true.type)
+        self.cond = cond
+        self.if_true = if_true
+        self.if_false = if_false
+
+    @property
+    def operands(self) -> List[Value]:
+        return [self.cond, self.if_true, self.if_false]
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        for attr in ("cond", "if_true", "if_false"):
+            if getattr(self, attr) is old:
+                setattr(self, attr, new)
+
+
+class LoadInst(Instruction):
+    def __init__(self, name: str, array: ArrayDecl, index: Value):
+        super().__init__(name, array.elem_type)
+        self.array = array
+        self.index = index
+
+    @property
+    def operands(self) -> List[Value]:
+        return [self.index]
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        if self.index is old:
+            self.index = new
+
+
+class StoreInst(Instruction):
+    def __init__(self, name: str, array: ArrayDecl, index: Value, value: Value):
+        super().__init__(name, VOID)
+        self.array = array
+        self.index = index
+        self.value = value
+
+    @property
+    def operands(self) -> List[Value]:
+        return [self.index, self.value]
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        if self.index is old:
+            self.index = new
+        if self.value is old:
+            self.value = new
+
+
+class PhiInst(Instruction):
+    """SSA phi: value chosen by predecessor block."""
+
+    def __init__(self, name: str, type_: Type = I32):
+        super().__init__(name, type_)
+        self.incomings: List[Tuple["BasicBlock", Value]] = []
+
+    def add_incoming(self, block: "BasicBlock", value: Value) -> None:
+        self.incomings.append((block, value))
+
+    def incoming_for(self, block: "BasicBlock") -> Value:
+        for blk, val in self.incomings:
+            if blk is block:
+                return val
+        raise KeyError(f"phi {self.name} has no incoming for block {block.name}")
+
+    @property
+    def operands(self) -> List[Value]:
+        return [val for _, val in self.incomings]
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        self.incomings = [
+            (blk, new if val is old else val) for blk, val in self.incomings
+        ]
+
+
+class BranchInst(Instruction):
+    """Conditional branch terminator."""
+
+    def __init__(self, cond: Value, if_true: "BasicBlock", if_false: "BasicBlock"):
+        super().__init__("br", VOID)
+        self.cond = cond
+        self.if_true = if_true
+        self.if_false = if_false
+
+    @property
+    def operands(self) -> List[Value]:
+        return [self.cond]
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        if self.cond is old:
+            self.cond = new
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    @property
+    def successors(self) -> List["BasicBlock"]:
+        return [self.if_true, self.if_false]
+
+
+class JumpInst(Instruction):
+    """Unconditional branch terminator."""
+
+    def __init__(self, target: "BasicBlock"):
+        super().__init__("jmp", VOID)
+        self.target = target
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        pass
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    @property
+    def successors(self) -> List["BasicBlock"]:
+        return [self.target]
+
+
+class RetInst(Instruction):
+    """Function return; kernels return through memory, so value is optional."""
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__("ret", VOID)
+        self.value = value
+
+    @property
+    def operands(self) -> List[Value]:
+        return [self.value] if self.value is not None else []
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        if self.value is old:
+            self.value = new
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    @property
+    def successors(self) -> List["BasicBlock"]:
+        return []

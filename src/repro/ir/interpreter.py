@@ -1,0 +1,224 @@
+"""Golden-model interpreter.
+
+Executes IR functions sequentially (original C program order).  This plays
+the role of the paper's C++ reference run in ModelSim co-simulation: every
+circuit simulation is checked against the interpreter's final memory state.
+
+The interpreter also records a :class:`MemoryTrace` — the dynamic sequence
+of loads/stores with resolved addresses — which the analysis tests use as
+an oracle for ambiguous-pair detection and which seeds the squash-
+probability estimates of the sizing model (Sec. V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import InterpreterError
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (
+    BinaryInst,
+    BranchInst,
+    Instruction,
+    JumpInst,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+)
+from .values import Argument, ConstInt, Value
+
+_BINARY_FNS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << b,
+    "shr": lambda a, b: a >> b,
+    "eq": lambda a, b: int(a == b),
+    "ne": lambda a, b: int(a != b),
+    "lt": lambda a, b: int(a < b),
+    "le": lambda a, b: int(a <= b),
+    "gt": lambda a, b: int(a > b),
+    "ge": lambda a, b: int(a >= b),
+}
+
+
+def _c_div(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpreterError("division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+_BINARY_FNS["div"] = _c_div
+_BINARY_FNS["rem"] = lambda a, b: a - _c_div(a, b) * b
+
+
+@dataclass
+class TraceEvent:
+    """One dynamic memory access in program order."""
+
+    seq: int            # global program-order position among memory ops
+    op: str             # "load" | "store"
+    array: str
+    index: int
+    value: int
+    inst: Instruction   # the static instruction
+
+
+@dataclass
+class MemoryTrace:
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def for_array(self, array: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.array == array]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass
+class InterpResult:
+    """Outcome of a golden run."""
+
+    memory: Dict[str, List[int]]
+    return_value: Optional[int]
+    trace: MemoryTrace
+    executed_instructions: int
+
+
+class Interpreter:
+    """Sequential executor for IR functions."""
+
+    def __init__(self, function: Function, max_steps: int = 10_000_000):
+        self.function = function
+        self.max_steps = max_steps
+
+    def run(
+        self,
+        args: Optional[Dict[str, int]] = None,
+        memory: Optional[Dict[str, Sequence[int]]] = None,
+        record_trace: bool = True,
+    ) -> InterpResult:
+        """Execute and return final memory, return value and access trace.
+
+        ``memory`` maps array names to initial contents; arrays not given
+        are zero-initialized.  The input mapping is never mutated.
+        """
+        fn = self.function
+        env: Dict[Value, int] = {}
+        arg_values = dict(args or {})
+        for arg in fn.args:
+            if arg.name not in arg_values:
+                raise InterpreterError(f"missing argument {arg.name!r}")
+            env[arg] = int(arg_values[arg.name])
+
+        mem: Dict[str, List[int]] = {}
+        given = memory or {}
+        for name, decl in fn.arrays.items():
+            init = list(given.get(name, []))
+            if len(init) > decl.size:
+                raise InterpreterError(
+                    f"initial data for {name!r} exceeds declared size {decl.size}"
+                )
+            mem[name] = init + [0] * (decl.size - len(init))
+
+        trace = MemoryTrace()
+        steps = 0
+        seq = 0
+        block = fn.entry
+        prev_block: Optional[BasicBlock] = None
+
+        while True:
+            # Phis read their incomings simultaneously (classic two-phase).
+            if block.phis:
+                staged = []
+                for phi in block.phis:
+                    incoming = phi.incoming_for(prev_block)
+                    staged.append((phi, self._value(incoming, env)))
+                for phi, val in staged:
+                    env[phi] = val
+
+            next_block: Optional[BasicBlock] = None
+            for inst in block.instructions:
+                steps += 1
+                if steps > self.max_steps:
+                    raise InterpreterError(
+                        f"{fn.name}: exceeded {self.max_steps} interpreter steps"
+                    )
+                if isinstance(inst, BinaryInst):
+                    env[inst] = _BINARY_FNS[inst.opcode](
+                        self._value(inst.lhs, env), self._value(inst.rhs, env)
+                    )
+                elif isinstance(inst, SelectInst):
+                    cond = self._value(inst.cond, env)
+                    env[inst] = self._value(
+                        inst.if_true if cond else inst.if_false, env
+                    )
+                elif isinstance(inst, LoadInst):
+                    idx = self._value(inst.index, env)
+                    self._check_bounds(inst.array, idx)
+                    val = mem[inst.array.name][idx]
+                    env[inst] = val
+                    if record_trace:
+                        trace.events.append(
+                            TraceEvent(seq, "load", inst.array.name, idx, val, inst)
+                        )
+                    seq += 1
+                elif isinstance(inst, StoreInst):
+                    idx = self._value(inst.index, env)
+                    self._check_bounds(inst.array, idx)
+                    val = self._value(inst.value, env)
+                    mem[inst.array.name][idx] = val
+                    if record_trace:
+                        trace.events.append(
+                            TraceEvent(seq, "store", inst.array.name, idx, val, inst)
+                        )
+                    seq += 1
+                elif isinstance(inst, BranchInst):
+                    taken = self._value(inst.cond, env)
+                    next_block = inst.if_true if taken else inst.if_false
+                elif isinstance(inst, JumpInst):
+                    next_block = inst.target
+                elif isinstance(inst, RetInst):
+                    ret = (
+                        self._value(inst.value, env)
+                        if inst.value is not None
+                        else None
+                    )
+                    return InterpResult(mem, ret, trace, steps)
+                else:  # pragma: no cover - defensive
+                    raise InterpreterError(f"cannot interpret {inst!r}")
+
+            if next_block is None:
+                raise InterpreterError(f"block {block.name} fell off the end")
+            prev_block, block = block, next_block
+
+    # ------------------------------------------------------------------
+    def _value(self, value: Value, env: Dict[Value, int]) -> int:
+        if isinstance(value, ConstInt):
+            return value.value
+        try:
+            return env[value]
+        except KeyError:
+            raise InterpreterError(
+                f"use of undefined value {value.short()}"
+            ) from None
+
+    def _check_bounds(self, array, idx: int) -> None:
+        if not 0 <= idx < array.size:
+            raise InterpreterError(
+                f"index {idx} out of bounds for array {array.name!r} "
+                f"(size {array.size})"
+            )
+
+
+def run_golden(function: Function, args=None, memory=None) -> InterpResult:
+    """Convenience wrapper: interpret ``function`` with the given inputs."""
+    return Interpreter(function).run(args=args, memory=memory)

@@ -1,0 +1,61 @@
+"""Textual dump of IR functions (LLVM-flavoured, for debugging and docs)."""
+
+from __future__ import annotations
+
+from .function import Function
+from .instructions import (
+    BinaryInst,
+    BranchInst,
+    JumpInst,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+)
+
+
+def print_function(fn: Function) -> str:
+    """Render ``fn`` as readable text."""
+    lines = []
+    args = ", ".join(f"{a.type!r} %{a.name}" for a in fn.args)
+    lines.append(f"func @{fn.name}({args}) {{")
+    for decl in fn.arrays.values():
+        lines.append(f"  array @{decl.name}[{decl.size} x {decl.elem_type!r}]")
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        for phi in block.phis:
+            inc = ", ".join(f"[{b.name}: {v.short()}]" for b, v in phi.incomings)
+            lines.append(f"  %{phi.name} = phi {inc}")
+        for inst in block.instructions:
+            lines.append(f"  {_format(inst)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _format(inst) -> str:
+    if isinstance(inst, BinaryInst):
+        return (
+            f"%{inst.name} = {inst.opcode} {inst.lhs.short()}, {inst.rhs.short()}"
+        )
+    if isinstance(inst, SelectInst):
+        return (
+            f"%{inst.name} = select {inst.cond.short()}, "
+            f"{inst.if_true.short()}, {inst.if_false.short()}"
+        )
+    if isinstance(inst, LoadInst):
+        return f"%{inst.name} = load @{inst.array.name}[{inst.index.short()}]"
+    if isinstance(inst, StoreInst):
+        return (
+            f"store @{inst.array.name}[{inst.index.short()}], "
+            f"{inst.value.short()}"
+        )
+    if isinstance(inst, BranchInst):
+        return (
+            f"br {inst.cond.short()}, {inst.if_true.name}, {inst.if_false.name}"
+        )
+    if isinstance(inst, JumpInst):
+        return f"jmp {inst.target.name}"
+    if isinstance(inst, RetInst):
+        return f"ret {inst.value.short()}" if inst.value else "ret"
+    return repr(inst)

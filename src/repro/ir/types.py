@@ -1,0 +1,44 @@
+"""Minimal type system for the HLS IR.
+
+Kernels in the paper are integer-typed C loops; we model integer scalars of
+a given bit width plus a control/void type for tokens.  Widths feed the
+area model (wider datapaths cost more LUT/FF).
+"""
+
+from __future__ import annotations
+
+
+class Type:
+    """Base class of IR types."""
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+
+class IntType(Type):
+    """Fixed-width integer (simulated with Python ints; width feeds area)."""
+
+    def __init__(self, width: int = 32):
+        if width < 1:
+            raise ValueError("integer width must be positive")
+        self.width = width
+
+    def __repr__(self) -> str:
+        return f"i{self.width}"
+
+
+class VoidType(Type):
+    """Control-only type (tokens with no payload)."""
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+I1 = IntType(1)
+I8 = IntType(8)
+I32 = IntType(32)
+I64 = IntType(64)
+VOID = VoidType()

@@ -1,0 +1,59 @@
+"""IR values: everything an instruction can consume as an operand."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .types import I32, IntType, Type
+
+
+class Value:
+    """Base class for SSA values (arguments, constants, instruction results)."""
+
+    def __init__(self, name: str, type_: Type):
+        self.name = name
+        self.type = type_
+
+    def short(self) -> str:
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return self.short()
+
+
+class Argument(Value):
+    """A scalar function argument (bound at interpretation/simulation time)."""
+
+    def __init__(self, name: str, type_: Type = I32):
+        super().__init__(name, type_)
+
+
+class ConstInt(Value):
+    """An integer literal."""
+
+    def __init__(self, value: int, type_: Optional[IntType] = None):
+        super().__init__(f"c{value}", type_ or I32)
+        self.value = int(value)
+
+    def short(self) -> str:
+        return str(self.value)
+
+
+class ArrayDecl:
+    """A memory region (one C array) owned by a function.
+
+    ``size`` is in elements; element width comes from ``elem_type``.  Arrays
+    are the unit of memory disambiguation: ambiguous pairs only form between
+    accesses to the same array, exactly as in Dynamatic (one LSQ per
+    conflicting memory interface).
+    """
+
+    def __init__(self, name: str, size: int, elem_type: Optional[IntType] = None):
+        if size < 1:
+            raise ValueError(f"array {name!r} needs positive size")
+        self.name = name
+        self.size = size
+        self.elem_type = elem_type or I32
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"@{self.name}[{self.size} x {self.elem_type!r}]"

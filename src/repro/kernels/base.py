@@ -1,0 +1,86 @@
+"""Kernel descriptors: IR builder + inputs + golden reference.
+
+Each benchmark bundles the IR-building recipe, the compile-time scalar
+arguments (kernel sizes, fixed at synthesis like the paper's HLS flow) and
+deterministic input data.  All kernels use the *fully-nested* loop form
+(every statement in the innermost block, possibly under an if) — the shape
+the PreVV builder supports and the shape polyhedral HLS benchmarks take.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..ir import Function, run_golden
+
+
+def lcg_values(count: int, seed: int = 7, lo: int = 0, hi: int = 10) -> List[int]:
+    """Deterministic pseudo-random integers in [lo, hi] (tiny LCG).
+
+    Keeps kernel inputs reproducible without importing ``random`` so runs
+    are bit-identical across platforms and Python versions.
+    """
+    span = hi - lo + 1
+    state = seed & 0x7FFFFFFF
+    values = []
+    for _ in range(count):
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        values.append(lo + (state >> 16) % span)
+    return values
+
+
+@dataclass
+class Kernel:
+    """One benchmark: everything needed to compile, run and verify it."""
+
+    name: str
+    description: str
+    builder: Callable[["Kernel"], Function]
+    args: Dict[str, int] = field(default_factory=dict)
+    memory_init: Dict[str, List[int]] = field(default_factory=dict)
+    #: table/figure rows this kernel backs (documentation only)
+    paper_reference: str = ""
+
+    def build_ir(self) -> Function:
+        return self.builder(self)
+
+    def golden(self):
+        """Interpreter (C++-reference) run of this kernel."""
+        return run_golden(
+            self.build_ir(), args=self.args, memory=self.memory_init
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Kernel({self.name}, args={self.args})"
+
+
+_REGISTRY: Dict[str, Callable[[], Kernel]] = {}
+
+
+def register_kernel(name: str):
+    """Decorator: register a zero-arg kernel factory under ``name``."""
+
+    def deco(factory: Callable[[], Kernel]):
+        _REGISTRY[name] = factory
+        return factory
+
+    return deco
+
+
+def get_kernel(name: str, **overrides) -> Kernel:
+    """Instantiate a registered kernel; ``overrides`` patch its args.
+
+    Overriding an arg (e.g. ``n=4``) rebuilds the input data accordingly —
+    factories read their sizes from the override mapping.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown kernel {name!r}; known: {known}") from None
+    return factory(**overrides) if overrides else factory()
+
+
+def kernel_names() -> List[str]:
+    return sorted(_REGISTRY)

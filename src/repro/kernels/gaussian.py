@@ -1,0 +1,74 @@
+"""Gaussian elimination (integer, fully-nested form).
+
+``for i, j, k: if (j > i && k >= i): A[j][k] -= (A[j][i] / A[i][i]) * A[i][k]``
+
+Every access to ``A`` sits inside the conditional, so all five member
+operations of the PreVV group need fake tokens on skipped iterations —
+this kernel is the stress test for the Sec. V-C deadlock fix.  The updates
+to ``A[j][k]`` are read back in later ``i`` sweeps (hazards across both
+inner and outer loops, as the paper's benchmark description states).
+
+Integer division truncates toward zero in both the golden model and the
+circuit, so results match exactly; the input matrix is strongly
+diagonally dominant to keep pivots nonzero.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import Function, IRBuilder
+from .base import Kernel, lcg_values, register_kernel
+from .nest import NestBuilder
+
+
+def _build(kernel: Kernel) -> Function:
+    n = kernel.args["n"]
+    fn = Function("gaussian")
+    b = IRBuilder(fn)
+    n_arg = b.arg("n")
+    a = b.array("A", n * n)
+    b.at(b.block("entry"))
+    nest = NestBuilder(b)
+    i = nest.open_loop("i", n_arg).iv
+    j = nest.open_loop("j", n_arg).iv
+    k = nest.open_loop("k", n_arg).iv
+    cond = b.and_(b.gt(j, i), b.ge(k, i), name="elim")
+    guard, then, join = nest.if_then(cond, "elim")
+    pivot = b.load(a, b.add(b.mul(i, n), i), name="pivot")
+    factor = b.div(b.load(a, b.add(b.mul(j, n), i)), pivot, name="factor")
+    upd = b.sub(
+        b.load(a, b.add(b.mul(j, n), k)),
+        b.mul(factor, b.load(a, b.add(b.mul(i, n), k))),
+        name="upd",
+    )
+    b.store(a, b.add(b.mul(j, n), k), upd)
+    nest.end_then(join)
+    nest.close_loop()
+    nest.close_loop()
+    nest.close_loop()
+    b.ret()
+    return fn
+
+
+def _elimination_matrix(n: int) -> List[int]:
+    """Off-diagonals larger than the diagonal so integer factors are often
+    nonzero (real elimination work); this seed keeps every pivot nonzero
+    for the sizes used in the evaluation (checked in the test suite)."""
+    values = lcg_values(n * n, seed=17, lo=0, hi=20)
+    for d in range(n):
+        values[d * n + d] = 3 + d
+    return values
+
+
+@register_kernel("gaussian")
+def gaussian(n: int = 15) -> Kernel:
+    """Integer Gaussian elimination on an n x n dominant matrix."""
+    return Kernel(
+        name="gaussian",
+        description="row elimination with all A-accesses under a condition",
+        builder=_build,
+        args={"n": n},
+        memory_init={"A": _elimination_matrix(n)},
+        paper_reference="Table I/II row gaussian; Fig. 1/7",
+    )

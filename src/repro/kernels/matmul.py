@@ -1,0 +1,115 @@
+"""Matrix-multiplication chains: the paper's 2mm and 3mm kernels.
+
+Each product is a fully-nested triple loop accumulating in a loop-carried
+register and storing ``out[i*N+j]`` on the last ``k`` iteration (a
+conditional store — exercising the fake-token path).  Chained products
+read the previous product's output matrix, creating **cross-nest** RAW
+hazards: the dataflow circuit overlaps the nests, so a later nest's loads
+can race the earlier nest's stores — exactly the disambiguation the LSQ
+(or PreVV) must police.  Flattened ``i*N+j`` subscripts keep the accesses
+may-conflict for the (Dynamatic-style) dependence analysis, as in the
+paper's benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import Function, IRBuilder
+from ..ir.values import ArrayDecl
+from .base import Kernel, lcg_values, register_kernel
+from .nest import NestBuilder
+
+
+def _emit_matmul(b: IRBuilder, nest: NestBuilder, n_arg, n: int,
+                 lhs: ArrayDecl, rhs: ArrayDecl, out: ArrayDecl,
+                 tag: str) -> None:
+    """One fully-nested product: out = lhs x rhs (N x N, flattened)."""
+    i = nest.open_loop(f"{tag}i", n_arg).iv
+    j = nest.open_loop(f"{tag}j", n_arg).iv
+    kloop = nest.open_loop(f"{tag}k", n_arg, carried={"s": 0})
+    k, s = kloop.iv, kloop.carried["s"]
+    lhs_v = b.load(lhs, b.add(b.mul(i, n), k))
+    rhs_v = b.load(rhs, b.add(b.mul(k, n), j))
+    s2 = b.add(s, b.mul(lhs_v, rhs_v), name=f"{tag}s2")
+    is_last = b.eq(k, b.sub(n_arg, 1))
+    guard, then, join = nest.if_then(is_last, f"{tag}st")
+    b.store(out, b.add(b.mul(i, n), j), s2)
+    nest.end_then(join)
+    nest.close_loop({"s": s2})
+    nest.close_loop()
+    nest.close_loop()
+
+
+def _build_2mm(kernel: Kernel) -> Function:
+    n = kernel.args["n"]
+    fn = Function("mm2")
+    b = IRBuilder(fn)
+    n_arg = b.arg("n")
+    a = b.array("A", n * n)
+    bm = b.array("B", n * n)
+    cm = b.array("C", n * n)
+    tmp = b.array("tmp", n * n)
+    d = b.array("D", n * n)
+    b.at(b.block("entry"))
+    nest = NestBuilder(b)
+    _emit_matmul(b, nest, n_arg, n, a, bm, tmp, "p")   # tmp = A x B
+    _emit_matmul(b, nest, n_arg, n, tmp, cm, d, "q")   # D = tmp x C
+    b.ret()
+    return fn
+
+
+def _build_3mm(kernel: Kernel) -> Function:
+    n = kernel.args["n"]
+    fn = Function("mm3")
+    b = IRBuilder(fn)
+    n_arg = b.arg("n")
+    a = b.array("A", n * n)
+    bm = b.array("B", n * n)
+    cm = b.array("C", n * n)
+    dm = b.array("D", n * n)
+    e = b.array("E", n * n)
+    f = b.array("F", n * n)
+    g = b.array("G", n * n)
+    b.at(b.block("entry"))
+    nest = NestBuilder(b)
+    _emit_matmul(b, nest, n_arg, n, a, bm, e, "p")    # E = A x B
+    _emit_matmul(b, nest, n_arg, n, cm, dm, f, "q")   # F = C x D
+    _emit_matmul(b, nest, n_arg, n, e, f, g, "r")     # G = E x F
+    b.ret()
+    return fn
+
+
+@register_kernel("2mm")
+def mm2(n: int = 8) -> Kernel:
+    """Two chained matrix products (D = (A x B) x C)."""
+    return Kernel(
+        name="2mm",
+        description="D = (A*B)*C with cross-nest RAW hazards on tmp",
+        builder=_build_2mm,
+        args={"n": n},
+        memory_init={
+            "A": lcg_values(n * n, seed=3, lo=0, hi=6),
+            "B": lcg_values(n * n, seed=5, lo=0, hi=6),
+            "C": lcg_values(n * n, seed=9, lo=0, hi=6),
+        },
+        paper_reference="Table I/II row 2mm; Fig. 1/7",
+    )
+
+
+@register_kernel("3mm")
+def mm3(n: int = 8) -> Kernel:
+    """Three matrix products (G = (A x B) x (C x D))."""
+    return Kernel(
+        name="3mm",
+        description="G = (A*B)*(C*D) with cross-nest RAW hazards on E and F",
+        builder=_build_3mm,
+        args={"n": n},
+        memory_init={
+            "A": lcg_values(n * n, seed=3, lo=0, hi=6),
+            "B": lcg_values(n * n, seed=5, lo=0, hi=6),
+            "C": lcg_values(n * n, seed=9, lo=0, hi=6),
+            "D": lcg_values(n * n, seed=13, lo=0, hi=6),
+        },
+        paper_reference="Table I/II row 3mm; Fig. 1/7",
+    )

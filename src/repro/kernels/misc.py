@@ -1,0 +1,173 @@
+"""Auxiliary kernels: the Fig. 2 examples and test/benchmark helpers.
+
+* :func:`fig2a` — the sequential-update RAW of Fig. 2(a):
+  ``a[b[i]] += A; b[i] += B;``
+* :func:`fig2b` — the function-dependent RAW of Fig. 2(b):
+  ``a[b[i] + x] += A; b[i + y] += B;`` where ``x``/``y`` stand in for the
+  runtime-only ``f(x)``/``g(x)`` subscript terms;
+* :func:`vadd` — hazard-free elementwise add (no LSQ/PreVV needed at all);
+* :func:`histogram` — data-dependent scatter-accumulate;
+* :func:`recurrence` — an adversarial distance-1 memory recurrence
+  (``t[i+1] = t[i]*x[i] + 1``) where *every* premature load is stale: the
+  squash-storm stress test (and the worst case for PreVV's Eq. 6 ``P_s``).
+"""
+
+from __future__ import annotations
+
+from ..ir import Function, IRBuilder
+from .base import Kernel, lcg_values, register_kernel
+from .nest import NestBuilder
+
+
+def _build_fig2a(kernel: Kernel) -> Function:
+    n = kernel.args["n"]
+    buckets = kernel.args["buckets"]
+    fn = Function("fig2a")
+    b = IRBuilder(fn)
+    n_arg = b.arg("n")
+    a = b.array("a", buckets)
+    bb = b.array("b", n)
+    b.at(b.block("entry"))
+    nest = NestBuilder(b)
+    i = nest.open_loop("i", n_arg).iv
+    bi = b.load(bb, i, name="bi")
+    b.store(a, bi, b.add(b.load(a, bi), 3))        # a[b[i]] += A
+    b.store(bb, i, b.add(b.load(bb, i), 2))        # b[i]   += B
+    nest.close_loop()
+    b.ret()
+    return fn
+
+
+def _build_fig2b(kernel: Kernel) -> Function:
+    n = kernel.args["n"]
+    buckets = kernel.args["buckets"]
+    fn = Function("fig2b")
+    b = IRBuilder(fn)
+    n_arg, x_arg, y_arg = b.arg("n"), b.arg("x"), b.arg("y")
+    a = b.array("a", buckets)
+    bb = b.array("b", 2 * n)
+    b.at(b.block("entry"))
+    nest = NestBuilder(b)
+    i = nest.open_loop("i", n_arg).iv
+    a_idx = b.add(b.load(bb, i), x_arg, name="a_idx")       # b[i] + f(x)
+    b.store(a, a_idx, b.add(b.load(a, a_idx), 3))
+    b_idx = b.add(i, y_arg, name="b_idx")                   # i + g(x)
+    b.store(bb, b_idx, b.add(b.load(bb, b_idx), 2))
+    nest.close_loop()
+    b.ret()
+    return fn
+
+
+def _build_vadd(kernel: Kernel) -> Function:
+    n = kernel.args["n"]
+    fn = Function("vadd")
+    b = IRBuilder(fn)
+    n_arg = b.arg("n")
+    a = b.array("a", n)
+    bb = b.array("b", n)
+    c = b.array("c", n)
+    b.at(b.block("entry"))
+    nest = NestBuilder(b)
+    i = nest.open_loop("i", n_arg).iv
+    b.store(c, i, b.add(b.load(a, i), b.load(bb, i)))
+    nest.close_loop()
+    b.ret()
+    return fn
+
+
+def _build_histogram(kernel: Kernel) -> Function:
+    n = kernel.args["n"]
+    buckets = kernel.args["buckets"]
+    fn = Function("histogram")
+    b = IRBuilder(fn)
+    n_arg = b.arg("n")
+    hist = b.array("hist", buckets)
+    data = b.array("data", n)
+    b.at(b.block("entry"))
+    nest = NestBuilder(b)
+    i = nest.open_loop("i", n_arg).iv
+    key = b.load(data, i, name="key")
+    b.store(hist, key, b.add(b.load(hist, key), 1))
+    nest.close_loop()
+    b.ret()
+    return fn
+
+
+def _build_recurrence(kernel: Kernel) -> Function:
+    n = kernel.args["n"]
+    fn = Function("recurrence")
+    b = IRBuilder(fn)
+    n_arg = b.arg("n")
+    x = b.array("x", n)
+    t = b.array("t", n + 1)
+    b.at(b.block("entry"))
+    nest = NestBuilder(b)
+    i = nest.open_loop("i", n_arg).iv
+    tv = b.load(t, i, name="tv")
+    b.store(t, b.add(i, 1), b.add(b.mul(tv, b.load(x, i)), 1))
+    nest.close_loop()
+    b.ret()
+    return fn
+
+
+@register_kernel("fig2a")
+def fig2a(n: int = 24, buckets: int = 16) -> Kernel:
+    return Kernel(
+        name="fig2a",
+        description="Fig. 2(a): a[b[i]] += A; b[i] += B (same-iteration RAW)",
+        builder=_build_fig2a,
+        args={"n": n, "buckets": buckets},
+        memory_init={"b": lcg_values(n, seed=41, lo=0, hi=buckets - 1)},
+        paper_reference="Fig. 2(a)",
+    )
+
+
+@register_kernel("fig2b")
+def fig2b(n: int = 24, buckets: int = 32, x: int = 5, y: int = 3) -> Kernel:
+    return Kernel(
+        name="fig2b",
+        description="Fig. 2(b): function-dependent RAW across iterations",
+        builder=_build_fig2b,
+        args={"n": n, "x": x, "y": y, "buckets": buckets},
+        memory_init={"b": lcg_values(2 * n, seed=43, lo=0, hi=buckets - 12)},
+        paper_reference="Fig. 2(b), Sec. III running example",
+    )
+
+
+@register_kernel("vadd")
+def vadd(n: int = 32) -> Kernel:
+    return Kernel(
+        name="vadd",
+        description="hazard-free vector add (no disambiguation hardware)",
+        builder=_build_vadd,
+        args={"n": n},
+        memory_init={
+            "a": lcg_values(n, seed=51, lo=0, hi=99),
+            "b": lcg_values(n, seed=53, lo=0, hi=99),
+        },
+        paper_reference="baseline sanity kernel",
+    )
+
+
+@register_kernel("histogram")
+def histogram(n: int = 48, buckets: int = 12) -> Kernel:
+    return Kernel(
+        name="histogram",
+        description="hist[data[i]] += 1 scatter-accumulate",
+        builder=_build_histogram,
+        args={"n": n, "buckets": buckets},
+        memory_init={"data": lcg_values(n, seed=61, lo=0, hi=buckets - 1)},
+        paper_reference="extra hazard kernel",
+    )
+
+
+@register_kernel("recurrence")
+def recurrence(n: int = 24) -> Kernel:
+    return Kernel(
+        name="recurrence",
+        description="t[i+1] = t[i]*x[i] + 1 distance-1 squash stress test",
+        builder=_build_recurrence,
+        args={"n": n},
+        memory_init={"x": lcg_values(n, seed=67, lo=1, hi=3)},
+        paper_reference="squash-path stress (not in paper tables)",
+    )

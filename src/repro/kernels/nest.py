@@ -1,0 +1,123 @@
+"""Helpers for building counted loop nests in IR.
+
+:class:`NestBuilder` stacks counted loops (``for v = 0; v < bound; ++v``)
+with optional loop-carried values, producing the canonical block shape the
+elastic builder and the PreVV domain analysis expect:
+
+    <name>_h   header: induction phi + carried phis + bounds check
+    <name>_b   body (position after open_loop)
+    <name>_x   exit (position after close_loop)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..errors import IRError
+from ..ir import BasicBlock, IRBuilder, PhiInst, Value
+
+
+@dataclass
+class _OpenLoop:
+    name: str
+    header: BasicBlock
+    body: BasicBlock
+    exit: BasicBlock
+    iv: PhiInst
+    carried: Dict[str, PhiInst] = field(default_factory=dict)
+
+
+class NestBuilder:
+    """Structured construction of counted loops over an :class:`IRBuilder`."""
+
+    def __init__(self, b: IRBuilder):
+        self.b = b
+        self._stack: List[_OpenLoop] = []
+
+    # ------------------------------------------------------------------
+    def open_loop(
+        self,
+        name: str,
+        bound: Union[Value, int],
+        carried: Optional[Dict[str, Union[Value, int]]] = None,
+    ) -> _OpenLoop:
+        """Open ``for name = 0; name < bound; ++name`` at the current block.
+
+        ``carried`` maps value names to their loop-entry initializers; the
+        returned record's ``carried`` dict holds the header phis.  The
+        builder is left positioned at the loop body.
+        """
+        b = self.b
+        if b._block is None:
+            raise IRError("NestBuilder.open_loop: builder is not positioned")
+        pre = b._block
+        header = b.block(f"{name}_h")
+        body = b.block(f"{name}_b")
+        exit_ = b.block(f"{name}_x")
+        b.jmp(header)
+        b.at(header)
+        iv = b.phi(name)
+        iv.add_incoming(pre, b.const(0))
+        loop = _OpenLoop(name, header, body, exit_, iv)
+        for cname, init in (carried or {}).items():
+            phi = b.phi(cname)
+            phi.add_incoming(pre, b._as_value(init))
+            loop.carried[cname] = phi
+        b.br(b.lt(iv, bound), body, exit_)
+        b.at(body)
+        self._stack.append(loop)
+        return loop
+
+    def close_loop(
+        self, carried_updates: Optional[Dict[str, Union[Value, int]]] = None
+    ) -> BasicBlock:
+        """Close the innermost open loop from the current block.
+
+        ``carried_updates`` gives the next-iteration value for each carried
+        phi (defaults to the phi itself, i.e. unchanged).  Leaves the
+        builder positioned at the loop exit and returns it.
+        """
+        b = self.b
+        if not self._stack:
+            raise IRError("NestBuilder.close_loop: no open loop")
+        loop = self._stack.pop()
+        latch = b._block
+        updates = carried_updates or {}
+        unknown = set(updates) - set(loop.carried)
+        if unknown:
+            raise IRError(
+                f"close_loop({loop.name}): unknown carried values {unknown}"
+            )
+        iv_next = b.add(loop.iv, 1, name=f"{loop.name}_next")
+        loop.iv.add_incoming(latch, iv_next)
+        for cname, phi in loop.carried.items():
+            value = updates.get(cname, phi)
+            phi.add_incoming(latch, b._as_value(value))
+        b.jmp(loop.header)
+        b.at(loop.exit)
+        return loop.exit
+
+    # ------------------------------------------------------------------
+    def if_then(self, cond: Value, name: str):
+        """Open ``if (cond) { ... }``: returns (guard, then, join) blocks.
+
+        The builder is positioned at the then block; the caller fills it,
+        then calls :meth:`end_then` to fall through to the join block.
+        Values merged across the if need explicit phis at the join (added
+        first, before any other join instructions).
+        """
+        b = self.b
+        guard = b._block
+        then = b.block(f"{name}_then")
+        join = b.block(f"{name}_join")
+        b.br(cond, then, join)
+        b.at(then)
+        return guard, then, join
+
+    def end_then(self, join: BasicBlock) -> BasicBlock:
+        """Finish the then block and continue at the join block."""
+        b = self.b
+        b.jmp(join)
+        b.at(join)
+        return join

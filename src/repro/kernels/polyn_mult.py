@@ -1,0 +1,53 @@
+"""Polynomial multiplication: ``c[i+j] += a[i] * b[j]``.
+
+The paper's compute-bound kernel with limited data reuse.  The accumulate
+into ``c[i + j]`` creates load/store pairs whose subscripts collide across
+iterations (different ``(i, j)`` with equal sums), so Dynamatic must place
+``c`` behind an LSQ and PreVV must validate it.
+"""
+
+from __future__ import annotations
+
+from ..ir import Function, IRBuilder
+from .base import Kernel, lcg_values, register_kernel
+from .nest import NestBuilder
+
+
+def _build(kernel: Kernel) -> Function:
+    n = kernel.args["n"]
+    fn = Function("polyn_mult")
+    b = IRBuilder(fn)
+    n_arg = b.arg("n")
+    a = b.array("a", n)
+    bb = b.array("b", n)
+    c = b.array("c", 2 * n)
+    entry = b.block("entry")
+    b.at(entry)
+    nest = NestBuilder(b)
+    i = nest.open_loop("i", n_arg).iv
+    j = nest.open_loop("j", n_arg).iv
+    # innermost body: c[i+j] += a[i] * b[j]
+    idx = b.add(i, j, name="cidx")
+    prod = b.mul(b.load(a, i), b.load(bb, j), name="prod")
+    acc = b.add(b.load(c, idx), prod, name="acc")
+    b.store(c, idx, acc)
+    nest.close_loop()
+    nest.close_loop()
+    b.ret()
+    return fn
+
+
+@register_kernel("polyn_mult")
+def polyn_mult(n: int = 52) -> Kernel:
+    """Polynomial multiplication of two degree-(n-1) polynomials."""
+    return Kernel(
+        name="polyn_mult",
+        description="c[i+j] += a[i]*b[j]; accumulation hazards on c",
+        builder=_build,
+        args={"n": n},
+        memory_init={
+            "a": lcg_values(n, seed=11, lo=0, hi=9),
+            "b": lcg_values(n, seed=23, lo=0, hi=9),
+        },
+        paper_reference="Table I/II row polyn_mult; Fig. 1/7",
+    )

@@ -1,0 +1,84 @@
+"""Triangular (forward-substitution) solver, fully-nested form.
+
+``x[i] = (b[i] - sum_{j<i} L[i][j] * x[j]) / L[i][i]``
+
+written as a two-deep nest whose inner body conditionally loads ``x[j]``
+(when ``j < i``) and conditionally stores ``x[i]`` (when ``j == n-1``).
+The loads of ``x`` consume values stored by *earlier outer iterations* —
+a true loop-carried memory dependence through ``x`` whose distance shrinks
+to one sweep at the boundary, which is where premature loads occasionally
+race the store and PreVV squashes.
+
+Used for solving lower-triangular systems (LU forward substitution), as
+in the paper's benchmark description.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import Function, IRBuilder
+from .base import Kernel, lcg_values, register_kernel
+from .nest import NestBuilder
+
+
+def _build(kernel: Kernel) -> Function:
+    n = kernel.args["n"]
+    fn = Function("triangular")
+    b = IRBuilder(fn)
+    n_arg = b.arg("n")
+    lm = b.array("L", n * n)
+    rhs = b.array("rhs", n)
+    x = b.array("x", n)
+    b.at(b.block("entry"))
+    nest = NestBuilder(b)
+    i = nest.open_loop("i", n_arg).iv
+    rhs_i = b.load(rhs, i, name="rhs_i")
+    jloop = nest.open_loop("j", n_arg, carried={"s": rhs_i})
+    j, s = jloop.iv, jloop.carried["s"]
+
+    # if (j < i) s -= L[i][j] * x[j]
+    guard1, then1, join1 = nest.if_then(b.lt(j, i), "sub")
+    xj = b.load(x, j, name="xj")
+    s_sub = b.sub(s, b.mul(b.load(lm, b.add(b.mul(i, n), j)), xj), name="s_sub")
+    nest.end_then(join1)
+    s2 = b.phi("s2")
+    s2.add_incoming(guard1, s)
+    s2.add_incoming(then1, s_sub)
+
+    # if (j == n-1) x[i] = s2 / L[i][i]
+    guard2, then2, join2 = nest.if_then(b.eq(j, b.sub(n_arg, 1)), "st")
+    diag = b.load(lm, b.add(b.mul(i, n), i), name="diag")
+    b.store(x, i, b.div(s2, diag))
+    nest.end_then(join2)
+
+    nest.close_loop({"s": s2})
+    nest.close_loop()
+    b.ret()
+    return fn
+
+
+def _triangular_matrix(n: int) -> List[int]:
+    values = lcg_values(n * n, seed=29, lo=1, hi=5)
+    for r in range(n):
+        for c in range(n):
+            if c > r:
+                values[r * n + c] = 0
+        values[r * n + r] = 1  # unit diagonal: exact integer substitution
+    return values
+
+
+@register_kernel("triangular")
+def triangular(n: int = 76) -> Kernel:
+    """Forward substitution on an n x n unit lower-triangular system."""
+    return Kernel(
+        name="triangular",
+        description="x[i] = (rhs[i] - sum L[i][j]x[j]) with x RAW hazards",
+        builder=_build,
+        args={"n": n},
+        memory_init={
+            "L": _triangular_matrix(n),
+            "rhs": lcg_values(n, seed=31, lo=0, hi=50),
+        },
+        paper_reference="Table I/II row triangular; Fig. 1/7",
+    )

@@ -1,0 +1,20 @@
+"""LSQ baselines: plain Dynamatic [15] and fast-allocation [8] queues,
+plus the depth-sizing ablation in the style of Liu et al. [16]."""
+
+from .lsq import (
+    GroupSpec,
+    LoadStoreQueue,
+    make_dynamatic_lsq,
+    make_fast_lsq,
+)
+from .sizing import DepthPoint, LsqSizingResult, size_lsq
+
+__all__ = [
+    "GroupSpec",
+    "LoadStoreQueue",
+    "make_dynamatic_lsq",
+    "make_fast_lsq",
+    "DepthPoint",
+    "LsqSizingResult",
+    "size_lsq",
+]

@@ -1,0 +1,84 @@
+"""LSQ depth selection in the style of Liu et al. [16].
+
+The related work the paper positions against: rather than removing the
+LSQ, [16] searches for the smallest queue depths that preserve circuit
+throughput.  We provide the same knob for ablation studies: sweep LSQ
+depths on a kernel, find the knee of the cycles-vs-depth curve, and
+report the area saved relative to a default 16+16 queue — so the
+benchmarks can contrast "shrink the LSQ" with "replace the LSQ".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..area import circuit_report
+from ..config import HardwareConfig
+
+
+@dataclass
+class DepthPoint:
+    depth: int
+    cycles: int
+    luts: float
+    ffs: float
+
+
+@dataclass
+class LsqSizingResult:
+    """Outcome of a depth sweep: the cheapest depth preserving throughput."""
+
+    points: List[DepthPoint] = field(default_factory=list)
+    chosen_depth: Optional[int] = None
+    baseline_cycles: Optional[int] = None
+
+    def summary(self) -> str:
+        lines = [f"{'depth':>6}{'cycles':>9}{'LUT':>9}{'FF':>8}"]
+        for p in self.points:
+            marker = "  <- chosen" if p.depth == self.chosen_depth else ""
+            lines.append(
+                f"{p.depth:>6}{p.cycles:>9}{p.luts:>9.0f}{p.ffs:>8.0f}{marker}"
+            )
+        return "\n".join(lines)
+
+
+def size_lsq(
+    kernel,
+    depths: Sequence[int] = (2, 4, 8, 16, 32),
+    style: str = "fast",
+    slack: float = 0.02,
+    max_cycles: int = 2_000_000,
+) -> LsqSizingResult:
+    """Sweep LSQ depths on ``kernel`` and pick the cheapest matched one.
+
+    ``slack`` is the tolerated cycle-count increase over the deepest
+    configuration (the throughput-preserving criterion of [16]).
+    """
+    from ..eval.runner import run_kernel  # local import: avoids a cycle
+
+    result = LsqSizingResult()
+    for depth in sorted(depths):
+        config = HardwareConfig(
+            name=f"{style}{depth}",
+            memory_style=style,
+            lsq_depth_loads=depth,
+            lsq_depth_stores=depth,
+        )
+        run = run_kernel(kernel, config, max_cycles=max_cycles,
+                         keep_build=True)
+        if not run.verified:
+            raise AssertionError(
+                f"{kernel.name} wrong under LSQ depth {depth}"
+            )
+        report = circuit_report(run.build.circuit)
+        result.points.append(
+            DepthPoint(depth, run.cycles, report.total.luts, report.total.ffs)
+        )
+    result.baseline_cycles = result.points[-1].cycles
+    threshold = result.baseline_cycles * (1.0 + slack)
+    for point in result.points:
+        if point.cycles <= threshold:
+            result.chosen_depth = point.depth
+            break
+    return result

@@ -1,0 +1,6 @@
+"""Memory subsystem: word-addressable RAM and the plain memory controller."""
+
+from .ram import Memory, WriteRecord
+from .controller import MemoryController
+
+__all__ = ["Memory", "WriteRecord", "MemoryController"]

@@ -1,0 +1,234 @@
+"""Word-addressable memory holding every declared array.
+
+One :class:`Memory` instance backs a whole circuit.  Arrays are disjoint
+regions addressed as ``(array_name, index)``, mirroring Dynamatic's
+one-BRAM-interface-per-array layout on the FPGA.
+
+The memory keeps an append-only **write log** while speculation is active.
+PreVV premature stores commit immediately (that is the whole point of
+eliminating the store queue); the log is what lets a squash reconstruct
+the pre-violation state even when squashed and retired writes interleave
+on the same address.  Each record carries the full speculation-tag map of
+the store token (a write derived from several loop domains is squashable
+by any of them).  Retired entries are pruned continuously against
+per-domain watermarks, so the log stays as small as the premature window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import MemoryError_
+
+
+@dataclass
+class WriteRecord:
+    """One committed store, kept until every tagging domain retires it."""
+
+    serial: int              # global commit order
+    array: str
+    index: int
+    value: int
+    old_value: int
+    tags: Dict[int, int] = field(default_factory=dict)  # domain -> iteration
+
+    def squashed_by(self, domain: int, min_iter: int) -> bool:
+        return self.tags.get(domain, -1) >= min_iter
+
+
+class Memory:
+    """All array storage plus the speculative write log."""
+
+    def __init__(self, arrays: Dict[str, int]):
+        """``arrays`` maps array name to size in elements."""
+        self._data: Dict[str, List[int]] = {
+            name: [0] * size for name, size in arrays.items()
+        }
+        self._log: List[WriteRecord] = []
+        self._serial = 0
+        self._retired: Dict[int, int] = {}  # domain -> retired-below iteration
+
+    # ------------------------------------------------------------------
+    # Initialization / inspection
+    # ------------------------------------------------------------------
+    def initialize(self, contents: Dict[str, Sequence[int]]) -> None:
+        for name, values in contents.items():
+            region = self._region(name)
+            if len(values) > len(region):
+                raise MemoryError_(
+                    f"initial data for {name!r} exceeds size {len(region)}"
+                )
+            region[: len(values)] = [int(v) for v in values]
+
+    def snapshot(self) -> Dict[str, List[int]]:
+        return {name: list(vals) for name, vals in self._data.items()}
+
+    def _region(self, array: str) -> List[int]:
+        try:
+            return self._data[array]
+        except KeyError:
+            raise MemoryError_(f"unknown array {array!r}") from None
+
+    def _check(self, array: str, index: int) -> List[int]:
+        region = self._region(array)
+        if not 0 <= index < len(region):
+            raise MemoryError_(
+                f"index {index} out of bounds for {array!r} (size {len(region)})"
+            )
+        return region
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def load(self, array: str, index: int) -> int:
+        return self._check(array, index)[index]
+
+    def store(
+        self,
+        array: str,
+        index: int,
+        value: int,
+        tags: Optional[Dict[int, int]] = None,
+    ) -> Optional[WriteRecord]:
+        """Commit a write; speculative writes (non-empty tags) are logged."""
+        region = self._check(array, index)
+        self._serial += 1
+        record = None
+        speculative = tags and any(
+            it >= self._retired.get(dom, 0) for dom, it in tags.items()
+        )
+        if speculative:
+            record = WriteRecord(
+                self._serial, array, index, int(value), region[index], dict(tags)
+            )
+            self._log.append(record)
+        region[index] = int(value)
+        return record
+
+    # ------------------------------------------------------------------
+    # Speculation support
+    # ------------------------------------------------------------------
+    def rollback(self, domain: int, min_iter: int) -> int:
+        """Undo every write tagged ``domain``/``iteration >= min_iter``.
+
+        Handles interleavings: for each touched address the surviving value
+        is that of the last non-squashed logged write (or the pre-log value
+        when every logged write to it is squashed).  Returns the number of
+        writes undone.
+        """
+        return self._remove(
+            lambda r: r.squashed_by(domain, min_iter), undo=True
+        )
+
+    def set_retired(self, domain: int, upto_iter: int) -> int:
+        """Advance ``domain``'s retirement watermark and prune the log.
+
+        A record is pruned when *every* domain tagging it has retired past
+        its iteration; pruned records are permanent (never rolled back).
+        Returns the number of entries pruned.
+        """
+        current = self._retired.get(domain, 0)
+        self._retired[domain] = max(current, upto_iter)
+
+        def fully_retired(record: WriteRecord) -> bool:
+            return all(
+                it < self._retired.get(dom, 0) for dom, it in record.tags.items()
+            )
+
+        return self._remove(fully_retired, undo=False)
+
+    def _remove(self, predicate, undo: bool) -> int:
+        """Drop log records matching ``predicate``.
+
+        For each touched address, walk its records in commit order keeping a
+        running ``base`` (the value memory would hold at that point with the
+        removed records excised — for ``undo=True`` — or made permanent —
+        for ``undo=False``).  Survivors get their ``old_value`` re-chained
+        to the base; with ``undo=True`` memory is restored to the final
+        base.
+        """
+        removed = [r for r in self._log if predicate(r)]
+        if not removed:
+            return 0
+        removed_ids = set(id(r) for r in removed)
+        addresses = {(r.array, r.index) for r in removed}
+        if not undo:
+            # Retirement prunes only the leading prefix of each address's
+            # history: a retired write that committed *after* a surviving
+            # speculative write (a benign same-value WAW inversion) must
+            # stay in the log, otherwise rolling back the survivor would
+            # resurrect a value the permanent write had overwritten.
+            for array, index in addresses:
+                prefix_over = False
+                for record in self._log:
+                    if record.array != array or record.index != index:
+                        continue
+                    if id(record) in removed_ids:
+                        if prefix_over:
+                            removed_ids.discard(id(record))
+                    else:
+                        prefix_over = True
+            removed = [r for r in removed if id(r) in removed_ids]
+            if not removed:
+                return 0
+            addresses = {(r.array, r.index) for r in removed}
+        for array, index in addresses:
+            entries = [
+                r for r in self._log if r.array == array and r.index == index
+            ]
+            base = entries[0].old_value
+            for record in entries:
+                if id(record) in removed_ids:
+                    if not undo:
+                        base = record.value  # retired: its effect is permanent
+                else:
+                    record.old_value = base
+                    base = record.value
+            if undo:
+                self._data[array][index] = base
+        self._log = [r for r in self._log if id(r) not in removed_ids]
+        return len(removed)
+
+    def find_record(
+        self, array: str, index: int, domain: int, iteration: int
+    ) -> Optional[WriteRecord]:
+        """Most recent logged write to an address from a given iteration.
+
+        Lets the PreVV arbiter recover the pre-store content (``old_value``)
+        of a premature store it is validating.
+        """
+        for record in reversed(self._log):
+            if (
+                record.array == array
+                and record.index == index
+                and record.tags.get(domain, -1) == iteration
+            ):
+                return record
+        return None
+
+    def old_value_of_last_write(self, array: str, index: int) -> Optional[int]:
+        """Old value recorded by the most recent logged write to an address.
+
+        Used by the PreVV arbiter's WAR check: a program-earlier load that
+        arrives after a program-later store committed should have read the
+        store's overwritten value.
+        """
+        for record in reversed(self._log):
+            if record.array == array and record.index == index:
+                return record.old_value
+        return None
+
+    @property
+    def log_length(self) -> int:
+        return len(self._log)
+
+    @property
+    def version(self) -> int:
+        """Monotone commit counter: bumped by every store, any array.
+
+        Loads record the version they observed; the PreVV arbiter compares
+        it against store commit versions to order reads and writes exactly
+        (no timing guesses).
+        """
+        return self._serial

@@ -1,0 +1,31 @@
+"""PreVV: premature value validation (the paper's core contribution).
+
+Replaces the LSQ with a premature queue, an arbiter and a squash path:
+loads and stores of an ambiguous group execute fully out of order against
+the memory controller ("premature"), record their ``P = {iter, index,
+value, op}`` in the queue, and the arbiter validates values after the
+fact, squashing and replaying only the (rare) truly violated iterations.
+"""
+
+from .properties import ITER_DONE, PTuple, Position, make_done, make_fake
+from .premature_queue import PrematureQueue
+from .replay import DomainGate, ReplayGate, SquashController
+from .fake import DoneTokenGenerator, FakeTokenGenerator, PairPacker
+from .unit import PortConfig, PreVVUnit
+
+__all__ = [
+    "ITER_DONE",
+    "PTuple",
+    "Position",
+    "make_done",
+    "make_fake",
+    "PrematureQueue",
+    "DomainGate",
+    "ReplayGate",
+    "SquashController",
+    "DoneTokenGenerator",
+    "FakeTokenGenerator",
+    "PairPacker",
+    "PortConfig",
+    "PreVVUnit",
+]

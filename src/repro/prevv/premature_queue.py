@@ -1,0 +1,150 @@
+"""The premature queue (Sec. IV-B, Fig. 4).
+
+A circular buffer of :class:`~repro.prevv.properties.PTuple` records with
+head/tail pointers.  The three states of Fig. 4 are observable:
+
+* *normal* — entries stored between head and tail;
+* *wrap-around* — the tail wrapped past the end of the storage array;
+* *full* — ``head == tail`` with every slot occupied, which stalls the
+  arbiter from accepting further premature operations (backpressure into
+  the main pipeline — the source of PreVV16's extra cycles in Table II).
+
+The queue stores the four labels of Eq. (1) per slot; validated entries
+leave from the head ("each time an operation in the queue is validated,
+the head pointer moves one position forward"), squashed entries are
+excised in place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from ..errors import QueueOverflowError
+from .properties import PTuple
+
+
+class PrematureQueue:
+    """Bounded circular buffer of premature-operation records."""
+
+    def __init__(self, depth: int, slack: int = 0):
+        """``depth`` is the architectural queue size (Fig. 4).
+
+        ``slack`` adds hidden physical slots so the arbiter can always
+        finish validating operations it already pulled from its ports while
+        the architectural queue asserts backpressure — the registers of the
+        LMerge/SMerge stage in the real design.  Backpressure
+        (:attr:`is_full`) is asserted at the *architectural* depth.
+        """
+        if depth < 1:
+            raise ValueError("premature queue depth must be >= 1")
+        if slack < 0:
+            raise ValueError("queue slack must be >= 0")
+        self.depth = depth
+        self.physical_depth = depth + slack
+        self._slots: List[Optional[PTuple]] = [None] * self.physical_depth
+        self._head = 0  # oldest stored operation
+        self._tail = 0  # next free slot
+        self._count = 0
+        # Statistics for the evaluation harness.
+        self.max_occupancy = 0
+        self.total_pushes = 0
+        self.full_stalls = 0
+
+    # ------------------------------------------------------------------
+    # State queries (Fig. 4)
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return self._count
+
+    @property
+    def is_full(self) -> bool:
+        """Architecturally full (Fig. 4c): stop accepting new operations."""
+        return self._count >= self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    @property
+    def is_wrapped(self) -> bool:
+        """Fig. 4(b): stored data wraps past the end of the array."""
+        return self._count > 0 and self._head + self._count > self.physical_depth
+
+    @property
+    def head(self) -> int:
+        return self._head
+
+    @property
+    def tail(self) -> int:
+        return self._tail
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def push(self, record: PTuple) -> None:
+        """Store at the tail; overflow beyond the physical slots is a bug."""
+        if self._count >= self.physical_depth:
+            raise QueueOverflowError(
+                "premature queue pushed past its physical capacity "
+                "(backpressure bug)"
+            )
+        self._slots[self._tail] = record
+        self._tail = (self._tail + 1) % self.physical_depth
+        self._count += 1
+        self.total_pushes += 1
+        self.max_occupancy = max(self.max_occupancy, self._count)
+
+    def pop_head(self) -> PTuple:
+        """Validate/retire the oldest entry (head pointer advances)."""
+        if self.is_empty:
+            raise QueueOverflowError("premature queue popped while empty")
+        record = self._slots[self._head]
+        self._slots[self._head] = None
+        self._head = (self._head + 1) % self.physical_depth
+        self._count -= 1
+        return record
+
+    def entries(self) -> Iterator[PTuple]:
+        """Stored records from head to tail (the arbiter's search order)."""
+        for k in range(self._count):
+            slot = self._slots[(self._head + k) % self.physical_depth]
+            if slot is not None:
+                yield slot
+
+    def peek_head(self) -> Optional[PTuple]:
+        return self._slots[self._head] if self._count else None
+
+    def remove_if(self, predicate: Callable[[PTuple], bool]) -> int:
+        """Excise matching entries, compacting toward the head.
+
+        Used on squash: entries belonging to flushed iterations vanish.
+        Returns the number removed.
+        """
+        kept = [r for r in self.entries() if not predicate(r)]
+        removed = self._count - len(kept)
+        if removed:
+            self._slots = [None] * self.physical_depth
+            self._head = 0
+            self._tail = len(kept) % self.physical_depth
+            for k, record in enumerate(kept):
+                self._slots[k] = record
+            self._count = len(kept)
+        return removed
+
+    def record_full_stall(self) -> None:
+        self.full_stalls += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = (
+            "full" if self.is_full
+            else "wrap" if self.is_wrapped
+            else "normal"
+        )
+        return (
+            f"PrematureQueue(depth={self.depth}, count={self._count}, "
+            f"state={state})"
+        )

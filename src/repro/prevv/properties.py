@@ -1,0 +1,93 @@
+"""The P-tuple of Eq. (1) and program-order positions.
+
+``P_m = {iter_m, index_m, value_m, Op_m}`` — each premature operation
+records its iteration, target index, value and operation type.  Our
+implementation extends the iteration into a three-level *program-order
+position* ``(phase, iteration, rom_pos)``:
+
+* ``phase`` — static program order of the operation's loop nest (0 for the
+  first top-level loop, 1 for the second, ...).  All dynamic operations of
+  an earlier nest precede all operations of a later nest, which is how
+  cross-nest ambiguous pairs (e.g. 2mm's producer/consumer nests) become
+  comparable;
+* ``iteration`` — the activation index of the operation's innermost loop
+  body (the squash-domain iteration tag);
+* ``rom_pos`` — the static order of the operation inside the body, read
+  from the arbiter's ROM exactly as the paper resolves ``iter_m == iter_n``
+  ties (Sec. III, "we can use a tuple to store the original sequence").
+
+Lexicographic comparison of positions is the paper's ``iter_m < iter_n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Sentinel iteration for "this port will never send again" done-tokens.
+ITER_DONE = 1 << 60
+
+Position = Tuple[int, int, int]  # (phase, iteration, rom_pos)
+
+
+@dataclass
+class PTuple:
+    """One premature operation's validation record (Eq. 1, extended)."""
+
+    op: str                       # "load" | "store"
+    index: int                    # memory index (index_m)
+    value: int                    # loaded or stored value (value_m)
+    phase: int                    # loop-nest program order
+    iteration: int                # domain iteration (iter_m)
+    rom_pos: int                  # static order inside the body
+    domain: int                   # squash-domain id of the owning port
+    port: int                     # owning unit port id
+    fake: bool = False            # Sec. V-C fake signal
+    done: bool = False            # end-of-nest marker (iteration == DONE)
+    old_value: Optional[int] = None  # pre-store content (stores only)
+    #: loads: memory version at the read; stores: commit serial (filled in
+    #: lazily once the memory controller has committed the write)
+    version: Optional[int] = None
+    tags: Dict[int, int] = field(default_factory=dict)  # full token tags
+
+    @property
+    def position(self) -> Position:
+        return (self.phase, self.iteration, self.rom_pos)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "FAKE" if self.fake else ("DONE" if self.done else self.op)
+        return (
+            f"P({kind}@{self.position}, idx={self.index}, val={self.value})"
+        )
+
+
+def make_fake(phase: int, iteration: int, rom_pos: int, domain: int,
+              port: int, tags: Optional[Dict[int, int]] = None) -> PTuple:
+    """A fake token: occupies the iteration slot without any memory effect."""
+    return PTuple(
+        op="fake",
+        index=-1,
+        value=0,
+        phase=phase,
+        iteration=iteration,
+        rom_pos=rom_pos,
+        domain=domain,
+        port=port,
+        fake=True,
+        tags=dict(tags or {}),
+    )
+
+
+def make_done(phase: int, domain: int, port: int) -> PTuple:
+    """A done token: the port's loop nest has finished for good."""
+    return PTuple(
+        op="done",
+        index=-1,
+        value=0,
+        phase=phase,
+        iteration=ITER_DONE,
+        rom_pos=0,
+        domain=domain,
+        port=port,
+        done=True,
+    )

@@ -1,0 +1,586 @@
+"""The PreVV unit: arbiter + premature queue for one validation group.
+
+This component reproduces Fig. 3/Fig. 5 for one (reduced) group of
+ambiguous operations on a single array:
+
+* each static member operation is a **port** (``p0 .. p{n-1}``) whose
+  channel delivers packed ``(index, value)`` tokens — the output of the
+  LMerge/SMerge data-collection path — plus fake tokens (Sec. V-C) and the
+  end-of-nest done token;
+* arrivals are re-ordered per port by their iteration tag, then the
+  arbiter processes up to one load-side and one store-side operation per
+  cycle (the LMerge/SMerge + comparator structure of Fig. 5);
+* each processed operation is validated against the premature queue
+  (Eqs. 2-5 with the ROM resolving same-iteration ties) and then stored;
+* violations raise a squash request to the
+  :class:`~repro.prevv.replay.SquashController` with the erroneous
+  iteration, flushing the pipeline behind it;
+* entries retire from the head once every port has advanced past them —
+  fake and done tokens are exactly what guarantees this always happens
+  (the Fig. 6 deadlock is the behaviour with fakes disabled).
+
+Validation is *value-based* (the paper's key idea, echoing value-based
+memory ordering in CPUs): a reordering whose values happen to match is
+benign and costs nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..dataflow.component import Component
+from ..dataflow.token import Token
+from ..errors import ValidationError
+from ..memory.ram import Memory
+from .premature_queue import PrematureQueue
+from .properties import ITER_DONE, Position, PTuple
+from .replay import SquashController
+
+
+@dataclass
+class PortConfig:
+    """Static description of one member operation of the group."""
+
+    kind: str        # "load" | "store"
+    array: str
+    domain: int      # squash domain (innermost loop body) of the op
+    phase: int       # program order of the op's loop nest
+    rom_pos: int     # static order inside the body (the arbiter ROM)
+
+
+class PreVVUnit(Component):
+    """Premature-value-validation unit for one ambiguous group."""
+
+    resource_class = "prevv_unit"
+
+    def __init__(
+        self,
+        name: str,
+        memory: Memory,
+        controller: SquashController,
+        ports: List[PortConfig],
+        queue_depth: int,
+        validations_per_cycle: int = 2,
+        reorder_window: int = 8,
+        addr_width: int = 32,
+        data_width: int = 32,
+    ):
+        super().__init__(name)
+        self.memory = memory
+        self.controller = controller
+        self.ports = ports
+        self.queue = PrematureQueue(
+            queue_depth,
+            slack=(reorder_window + 1) * max(1, len(ports)) + 8,
+        )
+        self.validations_per_cycle = validations_per_cycle
+        self.reorder_window = reorder_window
+        self.addr_width = addr_width
+        self.data_width = data_width
+        # Per port: next expected iteration and the tag-keyed reorder buffer.
+        self._expected: List[int] = [0] * len(ports)
+        self._pending: List[Dict[int, PTuple]] = [dict() for _ in ports]
+        # Highest memory version observed per port (loads: read version,
+        # stores: commit serial). Monotone per port because each port's
+        # memory accesses happen in program order; gates retirement so an
+        # entry outlives every in-flight operation that raced it.
+        self._last_version: List[int] = [0] * len(ports)
+        self._notified_points: Dict[int, int] = {}
+        # Highest real (non-fake) iteration decoded per port, and the
+        # memory-controller port observing the same operation; together
+        # they prove "nothing in flight" for the version bound below.
+        self._last_real_iter: List[int] = [-1] * len(ports)
+        self._mc_link: List = [None] * len(ports)  # (mc, kind, port_idx)
+        controller.register_unit(self)
+        # Statistics
+        self.violations = 0
+        self.violations_by_kind = {"raw": 0, "war": 0, "waw": 0}
+        self.benign_reorders = 0
+        self.fake_tokens = 0
+        self.processed_ops = 0
+
+    # ------------------------------------------------------------------
+    # Elastic interface
+    # ------------------------------------------------------------------
+    def port_name(self, i: int) -> str:
+        return f"p{i}"
+
+    def fake_port_name(self, i: int) -> str:
+        return f"p{i}_fake"
+
+    def done_port_name(self, i: int) -> str:
+        return f"p{i}_done"
+
+    def _port_channels(self):
+        """Yield (port_idx, channel) for every connected port channel.
+
+        Real, fake and done packets arrive on *separate* channels so a
+        fast fake path cannot head-of-line-block the slow real path of
+        the same port (and vice versa) inside an external merge.
+        """
+        for i in range(len(self.ports)):
+            for name in (
+                self.port_name(i),
+                self.fake_port_name(i),
+                self.done_port_name(i),
+            ):
+                ch = self.inputs.get(name)
+                if ch is not None:
+                    yield i, ch
+
+    def _accepts(self, port_idx: int, ch) -> bool:
+        """Acceptance: reorder-window room, in-window iteration, and
+        architectural backpressure when the premature queue is full
+        (Fig. 4c) with the liveness escape for a starving validator side."""
+        pending = self._pending[port_idx]
+        if len(pending) >= self.reorder_window:
+            return False
+        if not ch.valid or ch.data is None:
+            # Only grant ready once the offered token is inspectable;
+            # granting earlier in the fixpoint would bypass the window
+            # checks below (ready is monotone and cannot be retracted).
+            return False
+        record = self._decode(port_idx, ch.data)
+        expected = self._expected[port_idx]
+        window_top = expected + self.reorder_window
+        if not record.done and record.iteration >= window_top:
+            return False  # too far ahead: wait at the channel
+        if record.iteration != expected and (
+            len(pending) >= self.reorder_window - 1
+        ):
+            # Reserve the last slot for the expected iteration: each
+            # channel delivers in iteration order, so the expected record
+            # is always at the head of the channel carrying it and the
+            # reservation guarantees it can always enter.
+            return False
+        if record.done or record.fake:
+            return True   # no queue slot needed
+        if not self.queue.is_full:
+            return True
+        # Full queue (Fig. 4c): the only real operation still admitted is
+        # the one holding back the retirement watermark — processing it is
+        # what lets the head entries validate and free space. Everything
+        # else stalls, which is exactly the backpressure that makes
+        # Depth_q a performance knob.
+        no_real_pending = all(r.done or r.fake for r in pending.values())
+        return no_real_pending and port_idx == self._watermark_port()
+
+    def propagate(self) -> None:
+        for i, ch in self._port_channels():
+            if self._accepts(i, ch):
+                self.drive_ready(ch.consumer_port, True)
+        if self.queue.is_full:
+            self.queue.record_full_stall()
+
+    def attach_mc_port(self, port_idx: int, mc, kind: str, mc_port: int) -> None:
+        """Link a unit port to the controller port carrying the same op."""
+        self._mc_link[port_idx] = (mc, kind, mc_port)
+        mc.set_port_domain(kind, mc_port, self.ports[port_idx].domain)
+
+    def _advance_version(self, port_idx: int, version) -> None:
+        if version is not None and version > self._last_version[port_idx]:
+            self._last_version[port_idx] = version
+
+    def tick(self) -> None:
+        # 1. Pull arrivals into the reorder buffers.
+        for i, ch in self._port_channels():
+            if ch.fires:
+                record = self._decode(i, ch.data)
+                self._pending[i][record.iteration] = record
+                if not record.fake and not record.done:
+                    if record.iteration > self._last_real_iter[i]:
+                        self._last_real_iter[i] = record.iteration
+        # 2. Process in program order. Real operations are bounded per cycle
+        # by the comparator bandwidth (Fig. 5); fake and done markers only
+        # advance counters (a register update in hardware), so they do not
+        # consume validation slots.
+        budget = self.validations_per_cycle
+        marker_budget = 4 * max(1, len(self.ports))
+        while budget > 0 and marker_budget > 0:
+            choice = self._next_processable()
+            if choice is None:
+                break
+            port_idx, record = choice
+            if record.fake or record.done:
+                marker_budget -= 1
+            else:
+                budget -= 1
+            del self._pending[port_idx][record.iteration]
+            squashed_self = self._process(port_idx, record)
+            if not squashed_self:
+                if record.done:
+                    self._expected[port_idx] = ITER_DONE
+                else:
+                    self._expected[port_idx] = record.iteration + 1
+            if squashed_self:
+                break
+        # 3. Retire entries no future arrival can accuse.
+        self._retire()
+
+    # ------------------------------------------------------------------
+    # Decoding / ordering
+    # ------------------------------------------------------------------
+    def _decode(self, port_idx: int, token: Token) -> PTuple:
+        cfg = self.ports[port_idx]
+        payload = token.value
+        iteration = token.tag(cfg.domain)
+        if isinstance(payload, tuple) and payload and payload[0] == "fake":
+            return PTuple(
+                op="fake", index=-1, value=0, phase=cfg.phase,
+                iteration=iteration, rom_pos=cfg.rom_pos, domain=cfg.domain,
+                port=port_idx, fake=True, tags=dict(token.tags),
+            )
+        if isinstance(payload, tuple) and payload and payload[0] == "done":
+            # The exit token's tag is the last executed iteration; the done
+            # marker therefore occupies slot tag + 1 so it is processed only
+            # after every real iteration of this port.
+            return PTuple(
+                op="done", index=-1, value=0, phase=cfg.phase,
+                iteration=iteration + 1, rom_pos=cfg.rom_pos,
+                domain=cfg.domain, port=port_idx, done=True,
+                tags=dict(token.tags),
+            )
+        index, value = payload
+        return PTuple(
+            op=cfg.kind, index=int(index), value=value, phase=cfg.phase,
+            iteration=iteration, rom_pos=cfg.rom_pos, domain=cfg.domain,
+            port=port_idx, version=token.version, tags=dict(token.tags),
+        )
+
+    def _next_processable(self) -> Optional[Tuple[int, PTuple]]:
+        """Oldest (by program position) pending record at its port's turn."""
+        best: Optional[Tuple[int, PTuple]] = None
+        for i, pending in enumerate(self._pending):
+            record = pending.get(self._expected[i])
+            if record is None and pending:
+                # A done marker may sit above the expected slot when the
+                # loop ran zero iterations for the remaining ports.
+                for it, cand in pending.items():
+                    if cand.done and it <= self._expected[i]:
+                        record = cand
+                        break
+            if record is None:
+                continue
+            if best is None or record.position < best[1].position:
+                best = (i, record)
+        return best
+
+    # ------------------------------------------------------------------
+    # Validation (Eqs. 2-5 generalized)
+    # ------------------------------------------------------------------
+    def _process(self, port_idx: int, record: PTuple) -> bool:
+        """Validate ``record``; returns True when its own iteration squashes."""
+        self.processed_ops += 1
+        if record.done:
+            self._advance_version(port_idx, ITER_DONE)
+            return False
+        if record.fake:
+            self.fake_tokens += 1
+            return False
+        cfg = self.ports[port_idx]
+        if record.op == "store":
+            write = self.memory.find_record(
+                cfg.array, record.index, record.domain, record.iteration
+            )
+            if write is not None:
+                record.old_value = write.old_value
+                record.version = write.serial
+            else:
+                # The controller has not committed this store yet (port
+                # contention); the current content is still the old value
+                # and the commit serial is resolved lazily at retirement.
+                record.old_value = self.memory.load(cfg.array, record.index)
+                record.version = None
+            squashed = self._validate_store(record)
+        else:
+            squashed = self._validate_load(record)
+        if not squashed:
+            self._advance_version(port_idx, record.version)
+            self.queue.push(record)
+        return squashed
+
+    def _same_index(self, record: PTuple):
+        return [e for e in self.queue.entries() if e.index == record.index]
+
+    def _validate_store(self, store: PTuple) -> bool:
+        """Arriving store: accuse younger queued ops that used stale data."""
+        entries = self._same_index(store)
+        stores = sorted(
+            [e for e in entries if e.op == "store"] + [store],
+            key=lambda e: e.position,
+        )
+        for entry in entries:
+            if entry.position <= store.position:
+                if (
+                    entry.op == "load"
+                    and entry.version is not None
+                    and store.version is not None
+                    and entry.version >= store.version
+                    and entry.value != store.old_value
+                ):
+                    # WAR: the program-older load read memory *after* this
+                    # store committed (versions prove it) and saw the wrong
+                    # value: replay from the load's iteration.
+                    self.violations += 1
+                    self.violations_by_kind["war"] += 1
+                    self.controller.request_squash(
+                        entry.domain, entry.iteration
+                    )
+                    self.controller.request_squash(
+                        store.domain, store.iteration
+                    )
+                    return True
+                continue
+            if entry.op == "load":
+                # Eq. (2)-(5): the younger load should hold the value of the
+                # latest store older than it (including the arrival).
+                older = [s for s in stores if s.position < entry.position]
+                expected = older[-1].value if older else None
+                if expected is not None and entry.value != expected:
+                    self.violations += 1
+                    self.violations_by_kind["raw"] += 1
+                    self.controller.request_squash(entry.domain, entry.iteration)
+                    return False
+                self.benign_reorders += 1
+            elif entry.value != store.value:
+                # Store/store inversion: the younger store committed first;
+                # memory would end with the wrong value. Replay the younger.
+                self.violations += 1
+                self.violations_by_kind["waw"] += 1
+                self.controller.request_squash(entry.domain, entry.iteration)
+                return False
+        return False
+
+    def _validate_load(self, load: PTuple) -> bool:
+        """Arriving load: check against both older and younger stores."""
+        entries = self._same_index(load)
+        older_stores = [
+            e for e in entries
+            if e.op == "store" and e.position < load.position
+        ]
+        if older_stores:
+            latest = max(older_stores, key=lambda e: e.position)
+            if load.value != latest.value:
+                # The load raced ahead of an older store's commit (classic
+                # RAW): its own iteration must replay.
+                self.violations += 1
+                self.violations_by_kind["raw"] += 1
+                self.controller.request_squash(load.domain, load.iteration)
+                return True
+            self.benign_reorders += 1
+        younger_stores = [
+            e for e in entries
+            if e.op == "store" and e.position > load.position
+        ]
+        if younger_stores:
+            earliest = min(younger_stores, key=lambda e: e.position)
+            if earliest.old_value is not None and load.value != earliest.old_value:
+                # WAR: a younger store overwrote memory before this older
+                # load read it. Replay the load and the stores behind it.
+                self.violations += 1
+                self.violations_by_kind["war"] += 1
+                self.controller.request_squash(load.domain, load.iteration)
+                self.controller.request_squash(
+                    earliest.domain, earliest.iteration
+                )
+                return True
+            self.benign_reorders += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Retirement
+    # ------------------------------------------------------------------
+    def _port_position(self, i: int) -> Tuple[int, int]:
+        cfg = self.ports[i]
+        if self._expected[i] >= ITER_DONE:
+            # The port's nest has finished: it can never accuse anything
+            # again, so it no longer bounds retirement in any phase.
+            return (ITER_DONE, ITER_DONE)
+        return (cfg.phase, self._expected[i])
+
+    def _watermark(self) -> Tuple[int, int]:
+        return min(self._port_position(i) for i in range(len(self.ports)))
+
+    def _watermark_port(self) -> int:
+        """Port whose expected position bounds retirement (the laggard)."""
+        return min(
+            range(len(self.ports)), key=lambda i: self._port_position(i)
+        )
+
+    def _resolve_pending_versions(self) -> None:
+        for entry in self.queue.entries():
+            if entry.op == "store" and entry.version is None:
+                cfg = self.ports[entry.port]
+                write = self.memory.find_record(
+                    cfg.array, entry.index, entry.domain, entry.iteration
+                )
+                if write is not None:
+                    entry.version = write.serial
+                    self._advance_version(entry.port, write.serial)
+
+    def _port_version_bound(self, i: int) -> int:
+        """Lower bound on the memory version of this port's future arrivals.
+
+        Per-port accesses happen in program order, so their versions are
+        monotone in iteration order: the bound is the version of the *next
+        real record this port will process*.  Walking the consecutive run
+        of pending records from the expected slot, the first real one
+        supplies it (pending stores resolve their commit serial through
+        the memory log — the controller commits independently of the
+        arbiter).  When nothing real is pending and the controller has no
+        operation in flight toward the arbiter, everything still to come
+        will access memory later than now, i.e. at ``memory.version`` or
+        above; otherwise only the last processed version is guaranteed.
+        """
+        cfg = self.ports[i]
+        it = self._expected[i]
+        while it in self._pending[i]:
+            record = self._pending[i][it]
+            if record.done:
+                return ITER_DONE
+            if not record.fake:
+                version = record.version
+                if version is None and record.op == "store":
+                    write = self.memory.find_record(
+                        cfg.array, record.index, record.domain,
+                        record.iteration,
+                    )
+                    if write is not None:
+                        version = write.serial
+                        record.version = version
+                if version is None:
+                    # Unresolved pending store: only the last processed
+                    # version is a safe lower bound.
+                    return self._last_version[i]
+                return max(self._last_version[i], version)
+            it += 1
+        link = self._mc_link[i]
+        if link is not None:
+            mc, kind, mc_port = link
+            progress = (
+                mc.load_progress.get(mc_port, -1)
+                if kind == "load"
+                else mc.store_progress.get(mc_port, -1)
+            )
+            if progress <= self._last_real_iter[i]:
+                return max(self._last_version[i], self.memory.version)
+        return self._last_version[i]
+
+    def _min_version(self) -> int:
+        if not self.ports:
+            return 0
+        return min(
+            self._port_version_bound(i) for i in range(len(self.ports))
+        )
+
+    def _retire(self) -> None:
+        if self.controller.has_pending_squash():
+            # A violation was detected this cycle and its squash executes
+            # at the clock edge; retiring (and advancing retire points) now
+            # could prune the very replay state the squash needs.
+            return
+        self._resolve_pending_versions()
+        watermark = self._watermark()
+        min_version = self._min_version()
+        # Head-only retirement, exactly as Fig. 4 describes: "each time an
+        # operation in the queue is validated, the head pointer moves one
+        # position forward". Entries stuck behind a not-yet-validated head
+        # accumulate, which is what makes Depth_q a real performance knob.
+        while not self.queue.is_empty:
+            head = self.queue.peek_head()
+            retirable = (
+                (head.phase, head.iteration) < watermark
+                and head.version is not None
+                and head.version <= min_version
+            )
+            if not retirable:
+                break
+            self.queue.pop_head()
+        for domain in set(cfg.domain for cfg in self.ports):
+            point = self.retire_point_for(domain)
+            if point > self._notified_points.get(domain, -1):
+                self._notified_points[domain] = point
+                self.controller.notify_retired(domain, point)
+
+    def touches_domain(self, domain: int) -> bool:
+        return any(cfg.domain == domain for cfg in self.ports)
+
+    def retire_point_for(self, domain: int) -> int:
+        """Largest iteration below which this unit can never squash ``domain``.
+
+        Bounded by (a) the ports' progress — a future arrival can accuse
+        anything at or above its position — and (b) the oldest queued or
+        pending record of the domain, since any of those can still be the
+        target of a squash and the replay gates must keep their iterations
+        available.
+        """
+        phases = [c.phase for c in self.ports if c.domain == domain]
+        if not phases:
+            return ITER_DONE
+        domain_phase = phases[0]
+        point = ITER_DONE
+        for i, cfg in enumerate(self.ports):
+            expected = self._expected[i]
+            if cfg.phase < domain_phase and expected < ITER_DONE:
+                return 0  # an earlier nest may still accuse anything
+            if cfg.phase == domain_phase:
+                point = min(point, expected)
+            for record in self._pending[i].values():
+                if record.domain == domain and not record.done:
+                    point = min(point, record.iteration)
+        for entry in self.queue.entries():
+            if entry.domain == domain:
+                point = min(point, entry.iteration)
+        return point
+
+    # ------------------------------------------------------------------
+    # Squash interface
+    # ------------------------------------------------------------------
+    def on_squash(self, domain: int, min_iter: int) -> None:
+        if self._notified_points.get(domain, -1) > min_iter:
+            self._notified_points[domain] = min_iter
+        self.queue.remove_if(
+            lambda e: (
+                e.tags.get(domain, -1) >= min_iter
+                or (e.domain == domain and e.iteration >= min_iter)
+            )
+        )
+        for i, cfg in enumerate(self.ports):
+            if cfg.domain == domain and self._expected[i] >= min_iter:
+                self._expected[i] = min_iter
+            if cfg.domain == domain and self._last_real_iter[i] >= min_iter:
+                self._last_real_iter[i] = min_iter - 1
+            self._pending[i] = {
+                it: rec
+                for it, rec in self._pending[i].items()
+                if not (
+                    rec.tags.get(domain, -1) >= min_iter
+                    or (rec.domain == domain and rec.iteration >= min_iter)
+                )
+            }
+
+    def flush(self, domain: int, min_iter: int) -> None:
+        # The controller drives on_squash explicitly; the circuit-wide token
+        # flush must not touch queue entries of *older* iterations, so the
+        # component-level flush is a no-op for the unit.
+        return
+
+    @property
+    def is_busy(self) -> bool:
+        # Busy only when an accepted record can actually be processed;
+        # unprocessable backlog must let the deadlock detector speak.
+        return self._next_processable() is not None
+
+    @property
+    def resource_params(self):
+        n_loads = sum(1 for c in self.ports if c.kind == "load")
+        n_stores = len(self.ports) - n_loads
+        return {
+            "depth": self.queue.depth,
+            "n_loads": max(1, n_loads),
+            "n_stores": max(1, n_stores),
+            "addr_width": self.addr_width,
+            "data_width": self.data_width,
+            "iter_width": 16,
+        }

@@ -1,0 +1,55 @@
+"""Tests for the graph-based span/distance terms of Eqs. 8-10."""
+
+import pytest
+
+from repro.analysis import pair_distance, pair_span, suggest_depth
+from repro.dataflow import Circuit, OpaqueBuffer, Operator, Sink, Source
+
+
+def chain_circuit(length=5):
+    """source -> op0 -> op1 -> ... -> sink, one straight path."""
+    circuit = Circuit("chain")
+    source = circuit.add(Source("src", value=1))
+    prev, prev_port = source, "out"
+    names = []
+    for k in range(length):
+        op = circuit.add(Operator(f"op{k}", lambda a: a, 1, latency=0))
+        circuit.connect(prev, prev_port, op, "in0")
+        prev, prev_port = op, "out"
+        names.append(op.name)
+    sink = circuit.add(Sink("snk"))
+    circuit.connect(prev, prev_port, sink, "in")
+    return circuit, names
+
+
+class TestDistanceAndSpan:
+    def test_distance_counts_components_on_path(self):
+        circuit, names = chain_circuit(5)
+        # From op0 to op4: op0..op4 themselves = 5 components.
+        assert pair_distance(circuit, [names[0]], [names[4]]) == 5
+
+    def test_distance_unreachable_is_none(self):
+        circuit, names = chain_circuit(3)
+        assert pair_distance(circuit, [names[2]], [names[0]]) is None
+
+    def test_span_restricted_to_members(self):
+        circuit, names = chain_circuit(5)
+        members = names[1:4]
+        assert pair_span(circuit, members) == 3
+
+    def test_backedges_excluded(self):
+        circuit = Circuit("loop")
+        a = circuit.add(Operator("a", lambda x: x, 1, latency=0))
+        b = circuit.add(OpaqueBuffer("b"))
+        src = circuit.add(Source("s", value=0))
+        circuit.connect(src, "out", a, "in0")
+        chan = circuit.connect(a, "out", b, "in")
+        snk = circuit.add(Sink("k"))
+        back = circuit.connect(b, "out", snk, "in")
+        back.is_backedge = True
+        # With the back-edge removed, b cannot reach the sink.
+        assert pair_distance(circuit, ["b"], ["k"]) is None
+
+    def test_suggest_depth_clamps(self):
+        assert suggest_depth(1.0, 0.0, 1.0, min_depth=4) == 4
+        assert suggest_depth(1.0, 0.0, 1e9, max_depth=64) == 64

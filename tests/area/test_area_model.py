@@ -1,0 +1,150 @@
+"""Tests for the FPGA area/timing model."""
+
+import math
+
+import pytest
+
+from repro.area import (
+    CATEGORY_COMPUTE,
+    CATEGORY_MEMORY,
+    Resources,
+    circuit_report,
+    clock_period,
+    component_cost,
+    component_delay,
+    execution_time_us,
+    total,
+)
+from repro.area.library import COST_LIBRARY
+from repro.compile import compile_function
+from repro.config import HardwareConfig
+from repro.dataflow import Circuit, Fork, OpaqueBuffer, Operator, Sink, Source
+from repro.errors import ConfigError
+from repro.kernels import get_kernel
+from repro.lsq import GroupSpec, LoadStoreQueue
+from repro.memory import Memory
+from repro.prevv import PortConfig, PreVVUnit, SquashController
+
+
+class TestResources:
+    def test_addition_and_scaling(self):
+        a = Resources(luts=100, ffs=50, muxes=5)
+        b = Resources(luts=10, ffs=5, muxes=1)
+        c = a + b
+        assert (c.luts, c.ffs, c.muxes) == (110, 55, 6)
+        assert a.scaled(2).luts == 200
+        assert total([a, b]).luts == 110
+
+    def test_rounding(self):
+        assert Resources(luts=1.6).rounded().luts == 2
+
+
+def _lsq(depth):
+    mem = Memory({"a": 16})
+    return LoadStoreQueue(
+        "l", mem, "a", n_loads=1, n_stores=1,
+        groups=[GroupSpec([("load", 0), ("store", 0)])],
+        depth_loads=depth, depth_stores=depth,
+    )
+
+
+def _unit(depth):
+    circuit = Circuit("c")
+    mem = Memory({"a": 16})
+    ctrl = SquashController(circuit, mem)
+    ports = [
+        PortConfig("load", "a", 0, 0, 0),
+        PortConfig("store", "a", 0, 0, 1),
+    ]
+    return PreVVUnit("u", mem, ctrl, ports, queue_depth=depth)
+
+
+class TestCostLibrary:
+    def test_every_class_has_positive_lut_or_ff(self):
+        for name, fn in COST_LIBRARY.items():
+            cost = fn({})
+            assert cost.luts >= 0 and cost.ffs >= 0
+            if name not in ("source", "sink", "entry"):
+                assert cost.luts + cost.ffs > 0, name
+
+    def test_lsq_grows_superlinearly_with_depth(self):
+        small = component_cost(_lsq(8)).luts
+        large = component_cost(_lsq(32)).luts
+        assert large > 3.2 * small  # the O(D^2) dependency matrix
+
+    def test_prevv_grows_linearly_with_depth(self):
+        d16 = component_cost(_unit(16)).luts
+        d64 = component_cost(_unit(64)).luts
+        # Linear growth: quadrupling depth less than quadruples cost
+        # (fixed port/ROM logic amortizes).
+        assert d64 < 3.5 * d16
+
+    def test_prevv_ff_almost_flat_with_depth(self):
+        """Table I: PreVV16 -> PreVV64 adds only ~14 FF per extra entry."""
+        d16 = component_cost(_unit(16)).ffs
+        d64 = component_cost(_unit(64)).ffs
+        per_entry = (d64 - d16) / 48
+        assert per_entry < 25
+
+    def test_prevv16_cheaper_than_lsq16(self):
+        assert component_cost(_unit(16)).luts < component_cost(_lsq(16)).luts
+
+    def test_unknown_class_raises(self):
+        class Weird:
+            resource_class = "alien"
+            resource_params = {}
+            name = "w"
+
+        with pytest.raises(ConfigError):
+            component_cost(Weird())
+
+    def test_costless_helper(self):
+        class Helper:
+            resource_class = None
+            name = "h"
+
+        assert component_cost(Helper()).luts == 0
+
+
+class TestCircuitReport:
+    def test_categories_partition_total(self):
+        kernel = get_kernel("histogram", n=8)
+        cfg = HardwareConfig(name="d", memory_style="dynamatic")
+        build = compile_function(kernel.build_ir(), cfg, args=kernel.args)
+        report = circuit_report(build.circuit)
+        cat_sum = sum(r.luts for r in report.by_category.values())
+        assert math.isclose(cat_sum, report.total.luts, rel_tol=1e-9)
+
+    def test_lsq_dominates_dynamatic_histogram(self):
+        kernel = get_kernel("histogram", n=8)
+        cfg = HardwareConfig(name="d", memory_style="dynamatic")
+        build = compile_function(kernel.build_ir(), cfg, args=kernel.args)
+        report = circuit_report(build.circuit)
+        assert report.ordering_share() > 0.5
+        assert report.share(CATEGORY_COMPUTE) < 0.3
+
+
+class TestTiming:
+    def test_lsq_delay_grows_with_depth(self):
+        assert component_delay(_lsq(64)) > component_delay(_lsq(8))
+
+    def test_prevv_delay_nearly_flat(self):
+        delta = component_delay(_unit(64)) - component_delay(_unit(16))
+        assert 0 <= delta < 0.5  # the paper's CP barely moves 16 -> 64
+
+    def test_prevv_delay_below_lsq(self):
+        assert component_delay(_unit(16)) < component_delay(_lsq(16))
+
+    def test_clock_period_includes_congestion(self):
+        kernel = get_kernel("polyn_mult", n=8)
+        small = compile_function(
+            kernel.build_ir(),
+            HardwareConfig(name="d", memory_style="dynamatic"),
+            args=kernel.args,
+        )
+        period = clock_period(small.circuit)
+        worst = max(component_delay(c) for c in small.circuit.components)
+        assert period > worst  # congestion adder is positive
+
+    def test_execution_time(self):
+        assert execution_time_us(1000, 8.0) == 8.0

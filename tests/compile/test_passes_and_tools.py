@@ -1,0 +1,91 @@
+"""Tests for the pass pipeline, LSQ sizing, visualization and report tools."""
+
+import pytest
+
+from repro.compile import CompilationReport, run_pipeline
+from repro.config import HardwareConfig
+from repro.dataflow import to_dot
+from repro.kernels import get_kernel
+from repro.lsq import size_lsq
+
+PREVV = HardwareConfig(name="p8", memory_style="prevv", prevv_depth=8)
+DYN = HardwareConfig(name="d", memory_style="dynamatic")
+
+
+class TestPipeline:
+    def test_pipeline_reports_all_stages(self):
+        kernel = get_kernel("histogram", n=16)
+        report = run_pipeline(kernel.build_ir(), PREVV, args=kernel.args)
+        assert isinstance(report, CompilationReport)
+        assert report.needs_disambiguation
+        assert len(report.groups) == 1
+        assert report.suggested_depth is not None
+        assert report.build.units
+        text = report.summary()
+        assert "ambiguous pairs: 1" in text
+        assert "PreVV units" in text
+
+    def test_pipeline_hazard_free(self):
+        kernel = get_kernel("vadd", n=8)
+        report = run_pipeline(kernel.build_ir(), DYN, args=kernel.args)
+        assert not report.needs_disambiguation
+        assert report.suggested_depth is None
+        assert not report.build.lsqs
+
+    def test_pipeline_lsq_style_has_no_depth_suggestion(self):
+        kernel = get_kernel("histogram", n=16)
+        report = run_pipeline(kernel.build_ir(), DYN, args=kernel.args)
+        assert report.suggested_depth is None
+        assert report.build.lsqs
+
+
+class TestLsqSizing:
+    def test_sweep_finds_knee(self):
+        result = size_lsq(get_kernel("histogram", n=24), depths=(2, 4, 8))
+        assert [p.depth for p in result.points] == [2, 4, 8]
+        assert result.chosen_depth in (2, 4, 8)
+        # Area grows with depth.
+        assert result.points[0].luts < result.points[-1].luts
+        # The chosen depth preserves throughput within the slack.
+        chosen = next(
+            p for p in result.points if p.depth == result.chosen_depth
+        )
+        assert chosen.cycles <= result.baseline_cycles * 1.02 + 1
+        assert str(result.chosen_depth) in result.summary()
+
+
+class TestVisualization:
+    def test_dot_export_structure(self):
+        kernel = get_kernel("histogram", n=8)
+        report = run_pipeline(kernel.build_ir(), PREVV, args=kernel.args)
+        dot = to_dot(report.build.circuit)
+        assert dot.startswith("digraph circuit {")
+        assert dot.rstrip().endswith("}")
+        assert "prevv_hist" in dot
+        assert "->" in dot
+        # Slack buffers are collapsed by default...
+        assert "slk_" not in dot
+        # ...but can be included.
+        full = to_dot(report.build.circuit, include_slack=True)
+        assert "slk_" in full
+        # Back-edges are dashed.
+        assert "style=dashed" in dot
+
+
+class TestReportTool:
+    def test_area_only_report(self, monkeypatch):
+        import repro.eval.figures as figures_mod
+        import repro.eval.report as report_mod
+        import repro.eval.tables as tables_mod
+
+        def small(name, **kw):
+            return get_kernel(name, n=16) if name == "histogram" else None
+
+        monkeypatch.setattr(tables_mod, "get_kernel", small)
+        monkeypatch.setattr(figures_mod, "get_kernel", small)
+        text = report_mod.generate_report(
+            kernels=["histogram"], include_timing=False
+        )
+        assert "# PreVV reproduction report" in text
+        assert "Table I" in text and "Fig. 7" in text
+        assert "Table II" not in text

@@ -1,0 +1,331 @@
+"""Unit tests for individual elastic components."""
+
+import pytest
+
+from repro.dataflow import (
+    Branch,
+    Circuit,
+    Constant,
+    ControlMerge,
+    Entry,
+    Fifo,
+    Fork,
+    Join,
+    Merge,
+    Mux,
+    OpaqueBuffer,
+    Operator,
+    Select,
+    Simulator,
+    Sink,
+    Source,
+    Token,
+    TransparentBuffer,
+)
+from repro.errors import CircuitError
+
+
+def build_line(*components):
+    """Wire components into a chain via default 'out'/'in' ports."""
+    circuit = Circuit("line")
+    for comp in components:
+        circuit.add(comp)
+    for producer, consumer in zip(components, components[1:]):
+        circuit.connect(producer, "out", consumer, "in")
+    return circuit
+
+
+class TestEntryAndSink:
+    def test_entry_emits_exactly_one_token(self):
+        entry, sink = Entry("e", value=42), Sink("k")
+        circuit = build_line(entry, sink)
+        sim = Simulator(circuit)
+        sim.run_cycles(5)
+        assert sink.values == [42]
+
+    def test_source_respects_limit(self):
+        source, sink = Source("s", value=1, limit=3), Sink("k")
+        sim = Simulator(build_line(source, sink))
+        sim.run_cycles(10)
+        assert sink.count == 3
+
+    def test_sink_flush_drops_squashed_tokens(self):
+        sink = Sink("k")
+        sink.received = [Token(1, {0: 5}), Token(2, {0: 9}), Token(3)]
+        sink.count = 3
+        sink.flush(domain=0, min_iter=6)
+        assert sink.values == [1, 3]
+        assert sink.count == 2
+
+
+class TestBuffers:
+    def test_oehb_delays_by_one_cycle(self):
+        source, buf, sink = Source("s", value=5), OpaqueBuffer("b"), Sink("k")
+        sim = Simulator(build_line(source, buf, sink))
+        sim.step()
+        assert sink.count == 0  # token parked in buffer at cycle 0
+        sim.step()
+        assert sink.count == 1
+
+    def test_tehb_passes_through_combinationally(self):
+        source, buf, sink = Source("s", value=5), TransparentBuffer("b"), Sink("k")
+        sim = Simulator(build_line(source, buf, sink))
+        sim.step()
+        assert sink.count == 1
+
+    def test_fifo_preserves_order_and_capacity(self):
+        circuit = Circuit("c")
+        source = circuit.add(Source("s", value=0, limit=0))
+        fifo = circuit.add(Fifo("f", depth=4))
+        sink = circuit.add(Sink("k"))
+        circuit.connect(source, "out", fifo, "in")
+        circuit.connect(fifo, "out", sink, "in")
+        # Manually preload tokens out of band to test order.
+        fifo._items.extend([Token(i) for i in range(4)])
+        sim = Simulator(circuit)
+        sim.run_cycles(6)
+        assert sink.values == [0, 1, 2, 3]
+
+    def test_fifo_backpressures_when_full(self):
+        circuit = Circuit("c")
+        source = circuit.add(Source("s", value=7))
+        fifo = circuit.add(Fifo("f", depth=2))
+        sink = circuit.add(Sink("k"))
+        circuit.connect(source, "out", fifo, "in")
+        ch = circuit.connect(fifo, "out", sink, "in")
+        sim = Simulator(circuit)
+        # Block the sink by never letting it propagate ready: replace with a
+        # stalled consumer by monkeypatching the sink's propagate.
+        sink.propagate = lambda: None
+        sim.run_cycles(10)
+        assert fifo.occupancy == 2
+        in_ch = fifo.inputs["in"]
+        assert in_ch.valid and not in_ch.ready
+
+    def test_fifo_flush_removes_tagged_items(self):
+        fifo = Fifo("f", depth=4)
+        fifo._items.extend(
+            [Token(0, {1: 0}), Token(1, {1: 1}), Token(2, {1: 2})]
+        )
+        fifo.flush(domain=1, min_iter=1)
+        assert [t.value for t in fifo._items] == [0]
+
+    def test_fifo_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            Fifo("f", depth=0)
+
+
+class TestFork:
+    def test_fork_duplicates_to_all_outputs(self):
+        circuit = Circuit("c")
+        source = circuit.add(Source("s", value=9, limit=2))
+        fork = circuit.add(Fork("f", 3))
+        sinks = [circuit.add(Sink(f"k{i}")) for i in range(3)]
+        circuit.connect(source, "out", fork, "in")
+        for i, sink in enumerate(sinks):
+            circuit.connect(fork, f"out{i}", sink, "in")
+        Simulator(circuit).run_cycles(5)
+        assert all(sink.values == [9, 9] for sink in sinks)
+
+    def test_eager_fork_serves_fast_consumer_early(self):
+        """A slow consumer must not delay the fast one (eagerness)."""
+        circuit = Circuit("c")
+        source = circuit.add(Source("s", value=1, limit=1))
+        fork = circuit.add(Fork("f", 2))
+        fast = circuit.add(Sink("fast"))
+        slow_buf = circuit.add(OpaqueBuffer("slowb"))
+        slow = circuit.add(Sink("slow"))
+        circuit.connect(source, "out", fork, "in")
+        circuit.connect(fork, "out0", fast, "in")
+        circuit.connect(fork, "out1", slow_buf, "in")
+        circuit.connect(slow_buf, "out", slow, "in")
+        # Stall the slow path for a while.
+        slow_buf._slot = Token(99)
+        original = slow.propagate
+        slow.propagate = lambda: None
+        sim = Simulator(circuit)
+        sim.step()
+        assert fast.count == 1 and slow.count == 0
+        slow.propagate = original
+        sim.run_cycles(4)
+        assert slow.values == [99, 1]
+
+    def test_fork_requires_positive_outputs(self):
+        with pytest.raises(ValueError):
+            Fork("f", 0)
+
+
+class TestJoin:
+    def test_join_waits_for_all_inputs(self):
+        circuit = Circuit("c")
+        fast = circuit.add(Source("a", value=1, limit=1))
+        slow_src = circuit.add(Source("b", value=2, limit=1))
+        delay = circuit.add(OpaqueBuffer("d"))
+        join = circuit.add(Join("j", 2))
+        sink = circuit.add(Sink("k"))
+        circuit.connect(fast, "out", join, "in0")
+        circuit.connect(slow_src, "out", delay, "in")
+        circuit.connect(delay, "out", join, "in1")
+        circuit.connect(join, "out", sink, "in")
+        sim = Simulator(circuit)
+        sim.step()
+        assert sink.count == 0  # in1 delayed by the buffer
+        sim.step()
+        assert sink.count == 1
+
+
+class TestRouting:
+    def test_merge_forwards_any_single_input(self):
+        circuit = Circuit("c")
+        a = circuit.add(Source("a", value=10, limit=1))
+        merge = circuit.add(Merge("m", 2))
+        sink = circuit.add(Sink("k"))
+        circuit.connect(a, "out", merge, "in0")
+        dummy = circuit.add(Source("b", value=0, limit=0))
+        circuit.connect(dummy, "out", merge, "in1")
+        circuit.connect(merge, "out", sink, "in")
+        Simulator(circuit).run_cycles(3)
+        assert sink.values == [10]
+
+    def test_mux_selects_by_token_value(self):
+        circuit = Circuit("c")
+        sel = circuit.add(Source("sel", value=1, limit=1))
+        a = circuit.add(Source("a", value=100))
+        b = circuit.add(Source("b", value=200))
+        mux = circuit.add(Mux("m", 2))
+        sink = circuit.add(Sink("k"))
+        circuit.connect(sel, "out", mux, "select")
+        circuit.connect(a, "out", mux, "in0")
+        circuit.connect(b, "out", mux, "in1")
+        circuit.connect(mux, "out", sink, "in")
+        Simulator(circuit).run_cycles(3)
+        assert sink.values == [200]
+
+    def test_branch_routes_by_condition(self):
+        circuit = Circuit("c")
+        data = circuit.add(Source("d", value=5, limit=2))
+        conds = circuit.add(Source("c", value=1, limit=2))
+        branch = circuit.add(Branch("br"))
+        t_sink, f_sink = circuit.add(Sink("t")), circuit.add(Sink("f"))
+        circuit.connect(data, "out", branch, "data")
+        circuit.connect(conds, "out", branch, "cond")
+        circuit.connect(branch, "true", t_sink, "in")
+        circuit.connect(branch, "false", f_sink, "in")
+        Simulator(circuit).run_cycles(4)
+        assert t_sink.values == [5, 5] and f_sink.count == 0
+
+    def test_control_merge_reports_winning_index(self):
+        circuit = Circuit("c")
+        b = circuit.add(Source("b", value=7, limit=1))
+        dummy = circuit.add(Source("a", value=0, limit=0))
+        cmerge = circuit.add(ControlMerge("cm", 2))
+        out_sink, idx_sink = circuit.add(Sink("o")), circuit.add(Sink("i"))
+        circuit.connect(dummy, "out", cmerge, "in0")
+        circuit.connect(b, "out", cmerge, "in1")
+        circuit.connect(cmerge, "out", out_sink, "in")
+        circuit.connect(cmerge, "index", idx_sink, "in")
+        Simulator(circuit).run_cycles(3)
+        assert out_sink.values == [7]
+        assert idx_sink.values == [1]
+
+    def test_select_behaves_like_ternary(self):
+        circuit = Circuit("c")
+        cond = circuit.add(Source("c", value=0, limit=1))
+        a = circuit.add(Source("a", value=11, limit=1))
+        b = circuit.add(Source("b", value=22, limit=1))
+        select = circuit.add(Select("s"))
+        sink = circuit.add(Sink("k"))
+        circuit.connect(cond, "out", select, "cond")
+        circuit.connect(a, "out", select, "a")
+        circuit.connect(b, "out", select, "b")
+        circuit.connect(select, "out", sink, "in")
+        Simulator(circuit).run_cycles(3)
+        assert sink.values == [22]
+
+
+class TestOperator:
+    def test_combinational_add(self):
+        circuit = Circuit("c")
+        a = circuit.add(Source("a", value=3, limit=4))
+        b = circuit.add(Source("b", value=4, limit=4))
+        add = circuit.add(Operator.from_opcode("add", "add"))
+        sink = circuit.add(Sink("k"))
+        circuit.connect(a, "out", add, "in0")
+        circuit.connect(b, "out", add, "in1")
+        circuit.connect(add, "out", sink, "in")
+        Simulator(circuit).run_cycles(6)
+        assert sink.values == [7, 7, 7, 7]
+
+    def test_pipelined_mul_latency_and_ii(self):
+        circuit = Circuit("c")
+        a = circuit.add(Source("a", value=6, limit=3))
+        b = circuit.add(Source("b", value=7, limit=3))
+        mul = circuit.add(Operator.from_opcode("mul", "mul"))
+        sink = circuit.add(Sink("k"))
+        circuit.connect(a, "out", mul, "in0")
+        circuit.connect(b, "out", mul, "in1")
+        circuit.connect(mul, "out", sink, "in")
+        sim = Simulator(circuit)
+        per_cycle = []
+        for _ in range(8):
+            sim.step()
+            per_cycle.append(sink.count)
+        # Latency 4: first result visible after cycle 4; then one per cycle.
+        assert per_cycle[:4] == [0, 0, 0, 0]
+        assert sink.values == [42, 42, 42]
+
+    def test_division_truncates_toward_zero(self):
+        from repro.dataflow.arith import OP_TABLE
+
+        div = OP_TABLE["div"][0]
+        rem = OP_TABLE["rem"][0]
+        assert div(-7, 2) == -3 and rem(-7, 2) == -1
+        assert div(7, -2) == -3 and rem(7, -2) == 1
+
+    def test_division_by_zero_raises(self):
+        from repro.dataflow.arith import OP_TABLE
+
+        with pytest.raises(ZeroDivisionError):
+            OP_TABLE["div"][0](1, 0)
+
+    def test_operator_tags_merge_from_inputs(self):
+        circuit = Circuit("c")
+        a = circuit.add(Source("a", value=1, limit=1))
+        b = circuit.add(Source("b", value=2, limit=1))
+        add = circuit.add(Operator.from_opcode("add", "add"))
+        sink = circuit.add(Sink("k"))
+        circuit.connect(a, "out", add, "in0")
+        circuit.connect(b, "out", add, "in1")
+        circuit.connect(add, "out", sink, "in")
+        a.propagate = lambda: a.drive_out("out", Token(1, {0: 3}))
+        b.propagate = lambda: b.drive_out("out", Token(2, {0: 5, 1: 1}))
+        Simulator(circuit).run_cycles(2)
+        assert sink.received[0].tags == {0: 5, 1: 1}
+
+
+class TestCircuitValidation:
+    def test_duplicate_names_rejected(self):
+        circuit = Circuit("c")
+        circuit.add(Sink("x"))
+        with pytest.raises(CircuitError):
+            circuit.add(Sink("x"))
+
+    def test_double_connection_rejected(self):
+        circuit = Circuit("c")
+        a = circuit.add(Source("a", value=1))
+        k = circuit.add(Sink("k"))
+        circuit.connect(a, "out", k, "in")
+        j = circuit.add(Sink("j"))
+        with pytest.raises(CircuitError):
+            circuit.connect(a, "out", j, "in")
+
+    def test_connect_requires_added_components(self):
+        circuit = Circuit("c")
+        a = Source("a", value=1)
+        k = circuit.add(Sink("k"))
+        with pytest.raises(CircuitError):
+            circuit.connect(a, "out", k, "in")
+
+    def test_get_unknown_component(self):
+        with pytest.raises(CircuitError):
+            Circuit("c").get("nope")

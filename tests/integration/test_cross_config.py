@@ -1,0 +1,119 @@
+"""Integration: every kernel x every configuration verifies against golden.
+
+This is the reproduction's equivalent of the paper's ModelSim-vs-C++
+co-simulation check, run at reduced kernel sizes for test speed.
+"""
+
+import pytest
+
+from repro.config import HardwareConfig
+from repro.eval import run_kernel
+from repro.kernels import get_kernel
+
+SIZES = {
+    "polyn_mult": {"n": 10},
+    "2mm": {"n": 4},
+    "3mm": {"n": 4},
+    "gaussian": {"n": 6},
+    "triangular": {"n": 12},
+    "vadd": {"n": 16},
+    "histogram": {"n": 24},
+    "fig2a": {},
+    "fig2b": {},
+    "recurrence": {"n": 16},
+}
+
+CONFIGS = [
+    HardwareConfig(name="dynamatic", memory_style="dynamatic"),
+    HardwareConfig(name="fast", memory_style="fast"),
+    HardwareConfig(name="prevv4", memory_style="prevv", prevv_depth=4),
+    HardwareConfig(name="prevv16", memory_style="prevv", prevv_depth=16),
+]
+
+
+@pytest.mark.parametrize("kernel_name", sorted(SIZES))
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_kernel_verifies(kernel_name, config):
+    kernel = get_kernel(kernel_name, **SIZES[kernel_name])
+    result = run_kernel(kernel, config, max_cycles=300_000)
+    assert result.verified, (
+        f"{kernel_name} under {config.name}:\n{result.mismatch_summary}"
+    )
+
+
+class TestSpeculationBehaviour:
+    def test_recurrence_squashes_and_recovers(self):
+        """The adversarial distance-1 recurrence: every premature load is
+        stale, so PreVV must squash repeatedly yet still converge."""
+        kernel = get_kernel("recurrence", n=16)
+        result = run_kernel(
+            kernel,
+            HardwareConfig(name="p4", memory_style="prevv", prevv_depth=4),
+        )
+        assert result.verified
+        assert result.squashes > 0
+        assert result.violations_by_kind.get("raw", 0) > 0
+
+    def test_lsq_styles_never_squash(self):
+        kernel = get_kernel("recurrence", n=16)
+        result = run_kernel(
+            kernel, HardwareConfig(name="d", memory_style="dynamatic")
+        )
+        assert result.verified and result.squashes == 0
+
+    def test_fast_lsq_not_slower_than_dynamatic(self):
+        kernel = get_kernel("histogram", n=24)
+        slow = run_kernel(
+            kernel, HardwareConfig(name="d", memory_style="dynamatic")
+        )
+        fast = run_kernel(kernel, HardwareConfig(name="f", memory_style="fast"))
+        assert fast.cycles <= slow.cycles
+
+    def test_depth_reduces_full_stalls(self):
+        kernel = get_kernel("gaussian", n=8)
+        small = run_kernel(
+            kernel, HardwareConfig(name="p2", memory_style="prevv",
+                                   prevv_depth=2)
+        )
+        large = run_kernel(
+            kernel, HardwareConfig(name="p64", memory_style="prevv",
+                                   prevv_depth=64)
+        )
+        assert small.verified and large.verified
+        assert small.queue_full_stalls > large.queue_full_stalls
+        assert small.cycles >= large.cycles
+
+    def test_benign_value_reorders_do_not_squash(self):
+        """Storing the same value that was already there: reorders are
+        value-equal, so validation never squashes (the paper's key win)."""
+        from repro.ir import Function, IRBuilder
+        from repro.kernels import Kernel, NestBuilder
+
+        def build(kernel):
+            fn = Function("samestore")
+            b = IRBuilder(fn)
+            n = b.arg("n")
+            t = b.array("t", 64)
+            b.at(b.block("entry"))
+            nest = NestBuilder(b)
+            i = nest.open_loop("i", n).iv
+            value = b.load(t, i)
+            b.store(t, b.add(i, 1), value)  # t preloaded with equal values
+            nest.close_loop()
+            b.ret()
+            return fn
+
+        kernel = Kernel(
+            name="samestore",
+            description="t[i+1] = t[i] over constant data",
+            builder=build,
+            args={"n": 20},
+            memory_init={"t": [9] * 64},
+        )
+        result = run_kernel(
+            kernel, HardwareConfig(name="p8", memory_style="prevv",
+                                   prevv_depth=8)
+        )
+        assert result.verified
+        assert result.squashes == 0
+        assert result.benign_reorders > 0

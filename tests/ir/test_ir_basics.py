@@ -1,0 +1,233 @@
+"""Tests for IR construction, verification, printing and interpretation."""
+
+import pytest
+
+from repro.errors import InterpreterError, IRError
+from repro.ir import (
+    Function,
+    IRBuilder,
+    back_edges,
+    find_loops,
+    print_function,
+    run_golden,
+    verify_function,
+)
+
+
+def build_vadd(n_elems=8):
+    """for (i = 0; i < n; ++i) c[i] = a[i] + b[i];"""
+    fn = Function("vadd")
+    b = IRBuilder(fn)
+    n = b.arg("n")
+    a = b.array("a", n_elems)
+    bb = b.array("b", n_elems)
+    c = b.array("c", n_elems)
+    entry, header, body, exit_ = b.blocks("entry", "header", "body", "exit")
+    b.at(entry).jmp(header)
+    b.at(header)
+    i = b.phi("i")
+    i.add_incoming(entry, b.const(0))
+    b.br(b.lt(i, n), body, exit_)
+    b.at(body)
+    total = b.add(b.load(a, i), b.load(bb, i))
+    b.store(c, i, total)
+    i_next = b.add(i, 1, name="i_next")
+    i.add_incoming(body, i_next)
+    b.jmp(header)
+    b.at(exit_).ret()
+    return fn
+
+
+def build_conditional_sum():
+    """for (i=0;i<n;++i) if (a[i] > t) s += a[i]; return s."""
+    fn = Function("cond_sum")
+    b = IRBuilder(fn)
+    n, t = b.arg("n"), b.arg("t")
+    a = b.array("a", 16)
+    entry, header, body, then, latch, exit_ = b.blocks(
+        "entry", "header", "body", "then", "latch", "exit"
+    )
+    b.at(entry).jmp(header)
+    b.at(header)
+    i = b.phi("i")
+    s = b.phi("s")
+    i.add_incoming(entry, b.const(0))
+    s.add_incoming(entry, b.const(0))
+    b.br(b.lt(i, n), body, exit_)
+    b.at(body)
+    ai = b.load(a, i)
+    b.br(b.gt(ai, t), then, latch)
+    b.at(then)
+    s2 = b.add(s, ai, name="s2")
+    b.jmp(latch)
+    b.at(latch)
+    s3 = b.phi("s3")
+    s3.add_incoming(body, s)
+    s3.add_incoming(then, s2)
+    i_next = b.add(i, 1, name="inext")
+    i.add_incoming(latch, i_next)
+    s.add_incoming(latch, s3)
+    b.jmp(header)
+    b.at(exit_).ret(s)
+    return fn
+
+
+class TestBuilderAndVerifier:
+    def test_vadd_verifies(self):
+        verify_function(build_vadd())
+
+    def test_missing_terminator_detected(self):
+        fn = Function("bad")
+        b = IRBuilder(fn)
+        blk = b.block("entry")
+        b.at(blk).add(1, 2)
+        with pytest.raises(IRError, match="missing terminator"):
+            verify_function(fn)
+
+    def test_phi_incoming_mismatch_detected(self):
+        fn = build_vadd()
+        header = fn.block("header")
+        header.phis[0].incomings.pop()
+        with pytest.raises(IRError, match="phi"):
+            verify_function(fn)
+
+    def test_instruction_after_terminator_rejected(self):
+        fn = Function("bad")
+        b = IRBuilder(fn)
+        entry = b.block("entry")
+        b.at(entry).ret()
+        with pytest.raises(IRError, match="after terminator"):
+            b.add(1, 2)
+
+    def test_duplicate_block_names_rejected(self):
+        fn = Function("dup")
+        b = IRBuilder(fn)
+        b.block("x")
+        with pytest.raises(IRError):
+            b.block("x")
+
+    def test_printer_round_trips_key_content(self):
+        text = print_function(build_vadd())
+        assert "func @vadd" in text
+        assert "phi" in text and "load @a" in text and "store @c" in text
+
+    def test_unreachable_block_detected(self):
+        fn = build_vadd()
+        b = IRBuilder(fn)
+        orphan = b.block("orphan")
+        b.at(orphan).ret()
+        with pytest.raises(IRError, match="unreachable"):
+            verify_function(fn)
+
+
+class TestInterpreter:
+    def test_vadd_golden(self):
+        fn = build_vadd()
+        result = run_golden(
+            fn,
+            args={"n": 4},
+            memory={"a": [1, 2, 3, 4], "b": [10, 20, 30, 40]},
+        )
+        assert result.memory["c"] == [11, 22, 33, 44, 0, 0, 0, 0]
+
+    def test_trace_records_program_order(self):
+        fn = build_vadd()
+        result = run_golden(fn, args={"n": 2}, memory={"a": [5, 6], "b": [7, 8]})
+        ops = [(e.op, e.array, e.index) for e in result.trace.events]
+        assert ops == [
+            ("load", "a", 0),
+            ("load", "b", 0),
+            ("store", "c", 0),
+            ("load", "a", 1),
+            ("load", "b", 1),
+            ("store", "c", 1),
+        ]
+        assert [e.seq for e in result.trace.events] == list(range(6))
+
+    def test_conditional_sum(self):
+        fn = build_conditional_sum()
+        result = run_golden(
+            fn, args={"n": 5, "t": 10}, memory={"a": [5, 11, 20, 3, 30]}
+        )
+        assert result.return_value == 61
+
+    def test_missing_argument_raises(self):
+        with pytest.raises(InterpreterError, match="missing argument"):
+            run_golden(build_vadd(), args={}, memory={})
+
+    def test_out_of_bounds_raises(self):
+        fn = build_vadd(n_elems=2)
+        with pytest.raises(InterpreterError, match="out of bounds"):
+            run_golden(fn, args={"n": 5}, memory={})
+
+    def test_input_memory_not_mutated(self):
+        fn = build_vadd()
+        init = {"a": [1, 2], "b": [3, 4]}
+        run_golden(fn, args={"n": 2}, memory=init)
+        assert init == {"a": [1, 2], "b": [3, 4]}
+
+    def test_division_semantics(self):
+        fn = Function("divs")
+        b = IRBuilder(fn)
+        x, y = b.arg("x"), b.arg("y")
+        entry = b.block("entry")
+        b.at(entry)
+        q = b.div(x, y)
+        b.ret(q)
+        assert run_golden(fn, args={"x": -7, "y": 2}).return_value == -3
+
+
+class TestLoops:
+    def test_vadd_has_one_loop(self):
+        fn = build_vadd()
+        loops = find_loops(fn)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header.name == "header"
+        assert {b.name for b in loop.blocks} == {"header", "body"}
+        assert loop.depth == 1
+
+    def test_back_edges_found(self):
+        edges = back_edges(build_vadd())
+        assert [(t.name, h.name) for t, h in edges] == [("body", "header")]
+
+    def test_conditional_loop_blocks(self):
+        loops = find_loops(build_conditional_sum())
+        assert len(loops) == 1
+        assert {b.name for b in loops[0].blocks} == {
+            "header", "body", "then", "latch"
+        }
+
+    def test_nested_loops_detected(self):
+        fn = Function("nest")
+        b = IRBuilder(fn)
+        n = b.arg("n")
+        entry, oh, ob, ih, ib, ol, exit_ = b.blocks(
+            "entry", "outer_h", "outer_b", "inner_h", "inner_b", "outer_l", "exit"
+        )
+        b.at(entry).jmp(oh)
+        b.at(oh)
+        i = b.phi("i")
+        i.add_incoming(entry, b.const(0))
+        b.br(b.lt(i, n), ob, exit_)
+        b.at(ob).jmp(ih)
+        b.at(ih)
+        j = b.phi("j")
+        j.add_incoming(ob, b.const(0))
+        b.br(b.lt(j, n), ib, ol)
+        b.at(ib)
+        j2 = b.add(j, 1, name="j2")
+        j.add_incoming(ib, j2)
+        b.jmp(ih)
+        b.at(ol)
+        i2 = b.add(i, 1, name="i2")
+        i.add_incoming(ol, i2)
+        b.jmp(oh)
+        b.at(exit_).ret()
+        verify_function(fn)
+        loops = find_loops(fn)
+        assert len(loops) == 2
+        inner = [l for l in loops if l.header.name == "inner_h"][0]
+        outer = [l for l in loops if l.header.name == "outer_h"][0]
+        assert inner.parent is outer
+        assert inner.depth == 2 and outer.depth == 1

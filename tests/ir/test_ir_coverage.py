@@ -1,0 +1,163 @@
+"""Additional IR coverage: every opcode, select, nest builder errors."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import Function, IRBuilder, print_function, run_golden
+from repro.kernels import NestBuilder
+
+
+def eval_binary(op_name, x, y):
+    fn = Function("t")
+    b = IRBuilder(fn)
+    a1, a2 = b.arg("x"), b.arg("y")
+    b.at(b.block("entry"))
+    result = getattr(b, op_name)(a1, a2)
+    b.ret(result)
+    return run_golden(fn, args={"x": x, "y": y}).return_value
+
+
+class TestEveryOpcode:
+    @pytest.mark.parametrize("op,x,y,expected", [
+        ("add", 3, 4, 7),
+        ("sub", 3, 4, -1),
+        ("mul", -3, 4, -12),
+        ("div", 7, 2, 3),
+        ("div", -7, 2, -3),
+        ("rem", 7, 2, 1),
+        ("rem", -7, 2, -1),
+        ("and_", 0b1100, 0b1010, 0b1000),
+        ("or_", 0b1100, 0b1010, 0b1110),
+        ("xor", 0b1100, 0b1010, 0b0110),
+        ("shl", 3, 2, 12),
+        ("shr", 12, 2, 3),
+        ("eq", 3, 3, 1),
+        ("ne", 3, 3, 0),
+        ("lt", 2, 3, 1),
+        ("le", 3, 3, 1),
+        ("gt", 3, 2, 1),
+        ("ge", 2, 3, 0),
+    ])
+    def test_opcode_semantics(self, op, x, y, expected):
+        assert eval_binary(op, x, y) == expected
+
+    def test_select(self):
+        fn = Function("sel")
+        b = IRBuilder(fn)
+        c = b.arg("c")
+        b.at(b.block("entry"))
+        b.ret(b.select(c, 10, 20))
+        assert run_golden(fn, args={"c": 1}).return_value == 10
+        assert run_golden(fn, args={"c": 0}).return_value == 20
+
+    def test_unknown_opcode_rejected(self):
+        fn = Function("bad")
+        b = IRBuilder(fn)
+        b.at(b.block("entry"))
+        with pytest.raises(ValueError, match="unknown binary opcode"):
+            b.binary("pow", 2, 3)
+
+    def test_bad_operand_type_rejected(self):
+        fn = Function("bad")
+        b = IRBuilder(fn)
+        b.at(b.block("entry"))
+        with pytest.raises(IRError, match="cannot use"):
+            b.add("three", 4)
+
+    def test_emit_without_position(self):
+        fn = Function("bad")
+        b = IRBuilder(fn)
+        with pytest.raises(IRError, match="not positioned"):
+            b.add(1, 2)
+
+
+class TestNestBuilder:
+    def test_nested_counted_loops(self):
+        fn = Function("nest")
+        b = IRBuilder(fn)
+        n = b.arg("n")
+        acc = b.array("acc", 1)
+        b.at(b.block("entry"))
+        nest = NestBuilder(b)
+        i = nest.open_loop("i", n).iv
+        j = nest.open_loop("j", n).iv
+        b.store(acc, 0, b.add(b.load(acc, 0), b.mul(i, j)))
+        nest.close_loop()
+        nest.close_loop()
+        b.ret()
+        golden = run_golden(fn, args={"n": 4})
+        expected = sum(i * j for i in range(4) for j in range(4))
+        assert golden.memory["acc"] == [expected]
+
+    def test_carried_values(self):
+        fn = Function("carry")
+        b = IRBuilder(fn)
+        n = b.arg("n")
+        out = b.array("out", 1)
+        b.at(b.block("entry"))
+        nest = NestBuilder(b)
+        loop = nest.open_loop("i", n, carried={"s": 100})
+        s2 = b.add(loop.carried["s"], loop.iv)
+        nest.close_loop({"s": s2})
+        b.store(out, 0, loop.carried["s"])
+        b.ret()
+        golden = run_golden(fn, args={"n": 5})
+        assert golden.memory["out"] == [100 + 0 + 1 + 2 + 3 + 4]
+
+    def test_close_without_open(self):
+        fn = Function("bad")
+        b = IRBuilder(fn)
+        b.at(b.block("entry"))
+        with pytest.raises(IRError, match="no open loop"):
+            NestBuilder(b).close_loop()
+
+    def test_unknown_carried_update(self):
+        fn = Function("bad")
+        b = IRBuilder(fn)
+        n = b.arg("n")
+        b.at(b.block("entry"))
+        nest = NestBuilder(b)
+        nest.open_loop("i", n)
+        with pytest.raises(IRError, match="unknown carried"):
+            nest.close_loop({"ghost": 1})
+
+    def test_if_then_merge(self):
+        fn = Function("ifm")
+        b = IRBuilder(fn)
+        n = b.arg("n")
+        out = b.array("out", 1)
+        b.at(b.block("entry"))
+        nest = NestBuilder(b)
+        loop = nest.open_loop("i", n, carried={"s": 0})
+        i, s = loop.iv, loop.carried["s"]
+        guard, then, join = nest.if_then(b.gt(i, 2), "big")
+        s_inc = b.add(s, 10, name="s_inc")
+        nest.end_then(join)
+        s2 = b.phi("s2")
+        s2.add_incoming(guard, s)
+        s2.add_incoming(then, s_inc)
+        nest.close_loop({"s": s2})
+        b.store(out, 0, loop.carried["s"])
+        b.ret()
+        golden = run_golden(fn, args={"n": 6})
+        assert golden.memory["out"] == [30]  # i = 3, 4, 5
+
+
+class TestPrinterCoverage:
+    def test_prints_every_construct(self):
+        fn = Function("all")
+        b = IRBuilder(fn)
+        n = b.arg("n")
+        a = b.array("a", 4)
+        entry, then, other = b.blocks("entry", "then", "other")
+        b.at(entry)
+        v = b.load(a, 0)
+        sel = b.select(b.gt(v, 0), v, n)
+        b.br(b.eq(sel, 1), then, other)
+        b.at(then)
+        b.store(a, 1, sel)
+        b.ret(sel)
+        b.at(other).ret()
+        text = print_function(fn)
+        for fragment in ("select", "load @a", "store @a", "br ", "ret"):
+            assert fragment in text, fragment

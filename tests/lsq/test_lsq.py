@@ -1,0 +1,167 @@
+"""Unit tests for the load-store queue baselines."""
+
+import pytest
+
+from repro.dataflow import Circuit, Simulator, Sink, Source, Token
+from repro.lsq import GroupSpec, LoadStoreQueue, make_dynamatic_lsq, make_fast_lsq
+from repro.memory import Memory
+
+
+class Harness:
+    """One-load, one-store LSQ with scriptable port streams."""
+
+    def __init__(self, alloc_latency=1, depth=4, init=None):
+        self.circuit = Circuit("h")
+        self.memory = Memory({"a": 16})
+        if init:
+            self.memory.initialize({"a": init})
+        self.lsq = self.circuit.add(
+            LoadStoreQueue(
+                "lsq", self.memory, "a", n_loads=1, n_stores=1,
+                groups=[GroupSpec([("load", 0), ("store", 0)])],
+                depth_loads=depth, depth_stores=depth,
+                alloc_latency=alloc_latency,
+            )
+        )
+        self.streams = {}
+        for port, name in [
+            ("group0", "g"), ("ld0_addr", "la"),
+            ("st0_addr", "sa"), ("st0_data", "sd"),
+        ]:
+            src = self.circuit.add(Source(name, limit=0))
+            queue = []
+            self.streams[port] = queue
+
+            def make_prop(src=src, queue=queue):
+                def prop():
+                    if queue:
+                        src.drive_out("out", Token(queue[0]))
+                return prop
+
+            def make_tick(src=src, queue=queue):
+                def tick():
+                    if queue and src.outputs["out"].fires:
+                        queue.pop(0)
+                return tick
+
+            src.propagate = make_prop()
+            src.tick = make_tick()
+            self.circuit.connect(src, "out", self.lsq, port)
+        self.sink = self.circuit.add(Sink("data"))
+        self.circuit.connect(self.lsq, "ld0_data", self.sink, "in")
+        self.sim = Simulator(self.circuit, max_cycles=2000)
+
+    def feed(self, port, *values):
+        self.streams[port].extend(values)
+
+    def feed_iteration(self, ld_addr, st_addr, st_data):
+        self.feed("group0", None)
+        self.feed("ld0_addr", ld_addr)
+        self.feed("st0_addr", st_addr)
+        self.feed("st0_data", st_data)
+
+    def run(self, cycles=60):
+        self.sim.run_cycles(cycles)
+
+
+class TestBasicOrdering:
+    def test_load_reads_memory_when_no_older_store_matches(self):
+        h = Harness(init=[10, 11, 12, 13])
+        h.feed_iteration(ld_addr=2, st_addr=5, st_data=99)
+        h.run()
+        assert h.sink.values == [12]
+        assert h.memory.load("a", 5) == 99
+
+    def test_load_forwards_from_older_matching_store(self):
+        """Same iteration: store before load in group order? Our group is
+        load-then-store, so use two iterations: store@1 in iter 0, load@1
+        in iter 1 must see the stored value even if it never hit RAM yet."""
+        h = Harness(init=[0] * 8)
+        h.feed_iteration(ld_addr=7, st_addr=1, st_data=55)   # iter 0
+        h.feed_iteration(ld_addr=1, st_addr=6, st_data=66)   # iter 1: RAW
+        h.run()
+        assert h.sink.values == [0, 55]
+        assert h.lsq.committed_stores == 2
+
+    def test_load_waits_for_unknown_older_store_address(self):
+        h = Harness(init=[1, 2, 3, 4])
+        # iter 0: the store address arrives very late.
+        h.feed("group0", None)
+        h.feed("ld0_addr", 0)
+        h.feed("st0_data", 77)
+        # iter 1's load would race the unknown store address.
+        h.feed("group0", None)
+        h.feed("ld0_addr", 3)
+        h.run(10)
+        first_count = h.sink.count   # iter-0 load may issue, iter-1 not
+        assert first_count <= 1
+        h.feed("st0_addr", 3)        # now iter-0's store targets addr 3!
+        h.feed("st0_addr", 0)
+        h.feed("st0_data", 88)
+        h.run()
+        # iter-1's load of addr 3 must observe iter-0's store (77).
+        assert h.sink.values == [1, 77]
+
+    def test_stores_commit_in_program_order(self):
+        h = Harness(init=[0] * 8)
+        h.feed_iteration(ld_addr=7, st_addr=2, st_data=10)
+        h.feed_iteration(ld_addr=7, st_addr=2, st_data=20)
+        h.run()
+        assert h.memory.load("a", 2) == 20
+        assert h.lsq.committed_stores == 2
+
+    def test_responses_delivered_in_program_order_per_port(self):
+        """Out-of-order issue must still deliver port responses in order:
+        iter-1's load forwards from iter-0's store whose *data* is late,
+        iter-2's independent load issues first — yet the sink must see
+        iter-1's value before iter-2's."""
+        h = Harness(init=[5, 6, 7, 8])
+        h.feed("group0", None)          # iter 0: store addr known, data late
+        h.feed("ld0_addr", 3)
+        h.feed("st0_addr", 1)
+        h.feed("group0", None)          # iter 1: load 1 waits on the data
+        h.feed("ld0_addr", 1)
+        h.feed("st0_addr", 7)
+        h.feed("st0_data", 0)           # (this data pairs with iter 0's store)
+        h.run(15)
+        # iter-0's load delivered; iter-1 blocked; so at most one response.
+        # (iter-0's store got data=0 -> wait, the first st0_data pairs with
+        # iter 0: so iter-1's load forwards 0 once... feed iteration 2 now.)
+        h.feed("group0", None)          # iter 2: independent load
+        h.feed("ld0_addr", 2)
+        h.feed("st0_addr", 6)
+        h.feed("st0_data", 9)
+        h.run()
+        # Port order: iter0 ld3=8, iter1 ld1=forwarded 0, iter2 ld2=7.
+        assert h.sink.values == [8, 0, 7]
+
+
+class TestAllocation:
+    def test_capacity_backpressures_groups(self):
+        h = Harness(depth=2)
+        for _ in range(5):
+            h.feed("group0", None)
+        h.run(30)
+        # Only two iterations' entries fit; group channel stalls.
+        loads, stores = h.lsq._reserved()
+        assert loads <= 2 and stores <= 2
+        assert h.lsq.alloc_stalls > 0
+
+    def test_alloc_latency_delays_entry_visibility(self):
+        slow = Harness(alloc_latency=4)
+        slow.feed("group0", None)
+        slow.feed("ld0_addr", 0)
+        slow.run(2)
+        assert slow.sink.count == 0  # entries not materialized yet
+
+    def test_factories(self):
+        mem = Memory({"a": 4})
+        groups = [GroupSpec([("load", 0)])]
+        dyn = make_dynamatic_lsq("d", mem, "a", 1, 0, groups)
+        fast = make_fast_lsq("f", mem, "a", 1, 0, groups)
+        assert dyn.alloc_latency > fast.alloc_latency
+        assert dyn.style == "dynamatic" and fast.style == "fast"
+
+    def test_group_spec_counts(self):
+        spec = GroupSpec([("load", 0), ("store", 0), ("load", 1)])
+        assert spec.n_loads == 2 and spec.n_stores == 1

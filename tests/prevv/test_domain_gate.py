@@ -1,0 +1,166 @@
+"""Unit tests for the DomainGate (tagging, replay, pruning, cascades)."""
+
+import pytest
+
+from repro.dataflow import Circuit, Simulator, Sink, Source, Token
+from repro.errors import ValidationError
+from repro.memory import Memory
+from repro.prevv import DomainGate, SquashController
+
+
+def gate_harness(n_lanes=2, domain=0):
+    circuit = Circuit("g")
+    gate = circuit.add(DomainGate("gate", domain))
+    feeds = []
+    sinks = []
+    for lane in range(n_lanes):
+        idx = gate.add_channel()
+        src = circuit.add(Source(f"s{lane}", limit=0))
+        queue = []
+        feeds.append(queue)
+
+        def make(src=src, queue=queue):
+            def prop():
+                if queue:
+                    src.drive_out("out", queue[0])
+
+            def tick():
+                if queue and src.outputs["out"].fires:
+                    queue.pop(0)
+
+            return prop, tick
+
+        src.propagate, src.tick = make()
+        circuit.connect(src, "out", gate, gate.in_port(idx))
+        sink = circuit.add(Sink(f"k{lane}"))
+        sinks.append(sink)
+        circuit.connect(gate, gate.out_port(idx), sink, "in")
+    sim = Simulator(circuit, max_cycles=500)
+    return gate, feeds, sinks, sim
+
+
+class TestTaggingAndStorage:
+    def test_tags_tokens_with_iteration(self):
+        gate, feeds, sinks, sim = gate_harness(n_lanes=1)
+        feeds[0].extend([Token(10), Token(11), Token(12)])
+        sim.run(lambda: sinks[0].count >= 3)
+        assert [t.tag(0) for t in sinks[0].received] == [0, 1, 2]
+        assert gate.iterations_seen == 3
+        assert gate.stored_count == 3
+
+    def test_lanes_progress_independently(self):
+        gate, feeds, sinks, sim = gate_harness(n_lanes=2)
+        feeds[0].extend([Token(1), Token(2), Token(3)])
+        feeds[1].extend([Token(9)])  # lane 1 lags
+        sim.run(lambda: sinks[0].count >= 3)
+        assert sinks[0].count == 3 and sinks[1].count == 1
+        assert gate._next_iter == [3, 1]
+
+    def test_foreign_tags_preserved(self):
+        gate, feeds, sinks, sim = gate_harness(n_lanes=1)
+        feeds[0].append(Token(5, {7: 42}))
+        sim.run(lambda: sinks[0].count >= 1)
+        token = sinks[0].received[0]
+        assert token.tag(7) == 42 and token.tag(0) == 0
+
+
+class TestReplay:
+    def test_rewind_replays_stored_iterations(self):
+        gate, feeds, sinks, sim = gate_harness(n_lanes=1)
+        feeds[0].extend([Token(10), Token(11), Token(12)])
+        sim.run(lambda: sinks[0].count >= 3)
+        gate.rewind(1)
+        sim.run(lambda: sinks[0].count >= 5)
+        values = [(t.value, t.tag(0)) for t in sinks[0].received]
+        assert values == [(10, 0), (11, 1), (12, 2), (11, 1), (12, 2)]
+        assert gate.replayed_tokens == 2
+
+    def test_flush_drops_derived_entries_before_rewind(self):
+        gate, feeds, sinks, sim = gate_harness(n_lanes=1)
+        # Entries for iterations 1 and 2 were derived from iterations 0/1.
+        feeds[0].extend([Token(10), Token(11, {0: 0}), Token(12, {0: 1})])
+        sim.run(lambda: sinks[0].count >= 3)
+        gate.flush(0, 1)     # squash iterations >= 1
+        gate.rewind(1)
+        # Stored entry for iteration 1 carried tag 0 -> survives & replays;
+        # iteration 2's entry carried tag 1 -> dropped (regenerates live).
+        sim.run(lambda: sinks[0].count >= 4)
+        assert sinks[0].received[-1].value == 11
+        assert len(gate._replay[0]) == 0
+        assert gate._next_iter == [2]
+
+    def test_rewind_never_advances_a_lagging_lane(self):
+        gate, feeds, sinks, sim = gate_harness(n_lanes=1)
+        feeds[0].append(Token(10))
+        sim.run(lambda: sinks[0].count >= 1)   # lane at iteration 1
+        gate.rewind(5)                          # squash point beyond lane
+        assert gate._next_iter == [1]
+
+    def test_replay_gap_detected(self):
+        gate, feeds, sinks, sim = gate_harness(n_lanes=1)
+        feeds[0].extend([Token(1), Token(2), Token(3)])
+        sim.run(lambda: sinks[0].count >= 3)
+        # Corrupt storage: drop iteration 1 only (cannot happen via tags,
+        # but the integrity check must catch it).
+        gate._stored[0] = [(it, b) for it, b in gate._stored[0] if it != 1]
+        with pytest.raises(ValidationError, match="replay gap"):
+            gate.rewind(0)
+
+
+class TestPruningAndCascades:
+    def test_prune_by_watermarks(self):
+        gate, feeds, sinks, sim = gate_harness(n_lanes=1)
+        feeds[0].extend([Token(1), Token(2, {1: 5}), Token(3, {1: 9})])
+        sim.run(lambda: sinks[0].count >= 3)
+        # Own watermark passes everything; domain 1 retired below 6:
+        # entry tagged {1: 9} must survive (a cascade could still flush it).
+        gate.prune_by_watermarks({0: 10, 1: 6}, own_watermark=10)
+        kept = [it for it, _ in gate._stored[0]]
+        assert kept == [2]
+
+    def test_contamination_reports_min_iteration(self):
+        gate, feeds, sinks, sim = gate_harness(n_lanes=1)
+        feeds[0].extend([Token(1), Token(2, {1: 4}), Token(3, {1: 8})])
+        sim.run(lambda: sinks[0].count >= 3)
+        assert gate.contamination(1, 5) == 2  # iteration 2 carries {1: 8}
+        assert gate.contamination(1, 9) is None
+        assert gate.contamination(3, 0) is None
+
+
+class TestSquashControllerCoordination:
+    def test_cascade_expands_targets(self):
+        circuit = Circuit("c")
+        memory = Memory({"a": 4})
+        ctrl = SquashController(circuit, memory)
+        inner = circuit.add(DomainGate("gi", 0))
+        outer = circuit.add(DomainGate("go", 1))
+        ctrl.register_gate(inner)
+        ctrl.register_gate(outer)
+        # Outer iteration 3's bundle derives from inner iteration 17.
+        outer.add_channel()
+        outer._stored[0] = [(2, Token(0, {0: 11})), (3, Token(0, {0: 17}))]
+        outer._next_iter = [4]
+        inner.add_channel()
+        inner._stored[0] = [(12, Token(0, {0: 11, 1: 2}))]
+        inner._next_iter = [18]
+        ctrl.request_squash(0, 13)
+        ctrl.end_of_cycle()
+        # Inner squashed at 13; outer cascaded at its contaminated entry 3.
+        assert ctrl.flushes_by_domain == {0: 1, 1: 1}
+        assert outer._next_iter == [3]
+
+    def test_squash_statistics(self):
+        circuit = Circuit("c")
+        memory = Memory({"a": 4})
+        ctrl = SquashController(circuit, memory)
+        gate = circuit.add(DomainGate("g", 0))
+        ctrl.register_gate(gate)
+        gate.add_channel()
+        gate._next_iter = [10]
+        memory.store("a", 0, 5, tags={0: 8})
+        ctrl.request_squash(0, 7)
+        ctrl.end_of_cycle()
+        assert ctrl.squashes == 1
+        assert ctrl.squashed_iterations == 3
+        assert ctrl.rolled_back_writes == 1
+        assert memory.load("a", 0) == 0

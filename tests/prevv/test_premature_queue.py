@@ -1,0 +1,93 @@
+"""Fig. 4 premature-queue state machine tests."""
+
+import pytest
+
+from repro.errors import QueueOverflowError
+from repro.prevv import PrematureQueue, PTuple
+
+
+def make_p(iteration, op="load", index=0, value=0, rom=0):
+    return PTuple(
+        op=op, index=index, value=value, phase=0, iteration=iteration,
+        rom_pos=rom, domain=0, port=0,
+    )
+
+
+class TestStates:
+    def test_normal_state(self):
+        q = PrematureQueue(4)
+        q.push(make_p(0))
+        q.push(make_p(1))
+        assert not q.is_full and not q.is_empty and not q.is_wrapped
+        assert q.occupancy == 2
+        assert q.head == 0 and q.tail == 2
+
+    def test_wraparound_state(self):
+        """Fig. 4(b): pointers wrap past the end of the storage array."""
+        q = PrematureQueue(4)
+        for i in range(4):
+            q.push(make_p(i))
+        q.pop_head()
+        q.pop_head()
+        q.push(make_p(4))  # tail wraps to slot 0
+        assert q.is_wrapped
+        assert [e.iteration for e in q.entries()] == [2, 3, 4]
+
+    def test_full_state_head_equals_tail(self):
+        """Fig. 4(c): full queue has head == tail and must stall."""
+        q = PrematureQueue(3)
+        for i in range(3):
+            q.push(make_p(i))
+        assert q.is_full
+        assert q.head == q.tail
+
+    def test_overflow_raises(self):
+        q = PrematureQueue(1)
+        q.push(make_p(0))
+        with pytest.raises(QueueOverflowError):
+            q.push(make_p(1))
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(QueueOverflowError):
+            PrematureQueue(1).pop_head()
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            PrematureQueue(0)
+
+
+class TestOperations:
+    def test_fifo_order_preserved(self):
+        q = PrematureQueue(8)
+        for i in range(5):
+            q.push(make_p(i))
+        assert q.pop_head().iteration == 0
+        assert [e.iteration for e in q.entries()] == [1, 2, 3, 4]
+
+    def test_remove_if_compacts(self):
+        q = PrematureQueue(4)
+        for i in range(4):
+            q.push(make_p(i))
+        removed = q.remove_if(lambda e: e.iteration >= 2)
+        assert removed == 2
+        assert q.occupancy == 2
+        q.push(make_p(9))  # room reclaimed
+        assert [e.iteration for e in q.entries()] == [0, 1, 9]
+
+    def test_statistics(self):
+        q = PrematureQueue(2)
+        q.push(make_p(0))
+        q.push(make_p(1))
+        q.record_full_stall()
+        assert q.total_pushes == 2
+        assert q.max_occupancy == 2
+        assert q.full_stalls == 1
+
+    def test_search_order_head_to_tail(self):
+        """The arbiter searches 'from head to tail' (Sec. IV-A)."""
+        q = PrematureQueue(3)
+        q.push(make_p(5))
+        q.push(make_p(6))
+        q.pop_head()
+        q.push(make_p(7))
+        assert [e.iteration for e in q.entries()] == [6, 7]

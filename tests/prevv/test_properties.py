@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow import Token, combine, merge_tags
+from repro.memory import Memory
+from repro.prevv import PrematureQueue, PTuple
+
+
+def make_p(iteration, op="load", index=0, value=0):
+    return PTuple(
+        op=op, index=index, value=value, phase=0, iteration=iteration,
+        rom_pos=0, domain=0, port=0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Premature queue: FIFO semantics under arbitrary push/pop interleavings
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(st.sampled_from(["push", "pop"]), max_size=60),
+    depth=st.integers(min_value=1, max_value=8),
+)
+def test_queue_behaves_like_bounded_fifo(ops, depth):
+    queue = PrematureQueue(depth)
+    model = []
+    counter = 0
+    for op in ops:
+        if op == "push" and not queue.is_full:
+            queue.push(make_p(counter))
+            model.append(counter)
+            counter += 1
+        elif op == "pop" and not queue.is_empty:
+            popped = queue.pop_head()
+            assert popped.iteration == model.pop(0)
+        assert queue.occupancy == len(model)
+        assert [e.iteration for e in queue.entries()] == model
+        assert queue.is_full == (len(model) >= depth)
+        assert queue.is_empty == (len(model) == 0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    iterations=st.lists(
+        st.integers(min_value=0, max_value=30), min_size=1, max_size=16,
+        unique=True,
+    ),
+    cutoff=st.integers(min_value=0, max_value=30),
+)
+def test_queue_remove_if_is_a_filter(iterations, cutoff):
+    queue = PrematureQueue(32)
+    for it in iterations:
+        queue.push(make_p(it))
+    removed = queue.remove_if(lambda e: e.iteration >= cutoff)
+    kept = [it for it in iterations if it < cutoff]
+    assert removed == len(iterations) - len(kept)
+    assert [e.iteration for e in queue.entries()] == kept
+
+
+# ----------------------------------------------------------------------
+# Token tags: merge is max-per-domain and propagation-safe
+# ----------------------------------------------------------------------
+tag_dicts = st.dictionaries(
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=100),
+    max_size=4,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(tags=st.lists(tag_dicts, min_size=1, max_size=5))
+def test_merge_tags_takes_per_domain_max(tags):
+    tokens = [Token(0, dict(t)) for t in tags]
+    merged = merge_tags(tokens)
+    for dom in merged:
+        assert merged[dom] == max(t.get(dom, -1) for t in tags)
+    for t in tags:
+        for dom, it in t.items():
+            assert merged[dom] >= it
+
+
+@settings(max_examples=100, deadline=None)
+@given(tags=tag_dicts, domain=st.integers(0, 4), e=st.integers(0, 100))
+def test_squash_check_matches_definition(tags, domain, e):
+    token = Token(1, dict(tags))
+    assert token.is_squashed_by(domain, e) == (tags.get(domain, -1) >= e)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=tag_dicts, b=tag_dicts)
+def test_combine_is_squash_monotone(a, b):
+    """A combined token is squashed whenever either source would be —
+    derived values never escape their sources' speculation."""
+    ta, tb = Token(1, dict(a)), Token(2, dict(b))
+    combined = combine(3, ta, tb)
+    for domain in set(a) | set(b):
+        for e in range(0, 101, 25):
+            if ta.is_squashed_by(domain, e) or tb.is_squashed_by(domain, e):
+                assert combined.is_squashed_by(domain, e)
+
+
+# ----------------------------------------------------------------------
+# Memory write log: rollback/retire leave a consistent story
+# ----------------------------------------------------------------------
+write_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),    # address
+        st.integers(min_value=-50, max_value=50),  # value
+        st.integers(min_value=0, max_value=9),     # iteration tag
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(writes=write_ops, cut=st.integers(min_value=0, max_value=9))
+def test_rollback_equals_replaying_survivors(writes, cut):
+    """Rolling back iterations >= cut must leave memory exactly as if only
+    the surviving writes had ever executed."""
+    mem = Memory({"a": 4})
+    for addr, value, it in writes:
+        mem.store("a", addr, value, tags={0: it})
+    mem.rollback(domain=0, min_iter=cut)
+
+    reference = Memory({"a": 4})
+    for addr, value, it in writes:
+        if it < cut:
+            reference.store("a", addr, value, tags={0: it})
+    assert mem.snapshot() == reference.snapshot()
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    writes=write_ops,
+    retire_to=st.integers(min_value=0, max_value=9),
+    cut=st.integers(min_value=0, max_value=9),
+)
+def test_retire_then_rollback_is_consistent(writes, retire_to, cut):
+    """Retiring a prefix never changes what a later rollback reconstructs
+    (rollback can only target iterations >= the retirement watermark)."""
+    cut = max(cut, retire_to)
+    mem = Memory({"a": 4})
+    for addr, value, it in writes:
+        mem.store("a", addr, value, tags={0: it})
+    mem.set_retired(domain=0, upto_iter=retire_to)
+    mem.rollback(domain=0, min_iter=cut)
+
+    reference = Memory({"a": 4})
+    for addr, value, it in writes:
+        if it < cut:
+            reference.store("a", addr, value, tags={0: it})
+    assert mem.snapshot() == reference.snapshot()
+
+
+@settings(max_examples=100, deadline=None)
+@given(writes=write_ops)
+def test_full_retirement_empties_the_log(writes):
+    mem = Memory({"a": 4})
+    for addr, value, it in writes:
+        mem.store("a", addr, value, tags={0: it})
+    mem.set_retired(domain=0, upto_iter=10)
+    assert mem.log_length == 0

@@ -1,0 +1,196 @@
+"""Direct tests of the PreVV arbiter's validation rules (Eqs. 2-5 etc.).
+
+A harness unit is driven without a full circuit: tokens are injected by
+stubbing its port channels, so each validation rule can be exercised in
+isolation.
+"""
+
+import pytest
+
+from repro.dataflow import Channel, Circuit, Sink, Source, Token
+from repro.memory import Memory
+from repro.prevv import PortConfig, PreVVUnit, SquashController
+
+
+class Harness:
+    """A 2-port (load, store) unit with manually injected packets."""
+
+    def __init__(self, depth=8, phases=(0, 0), roms=(0, 1)):
+        self.circuit = Circuit("h")
+        self.memory = Memory({"a": 32})
+        self.controller = SquashController(self.circuit, self.memory)
+        ports = [
+            PortConfig("load", "a", domain=0, phase=phases[0], rom_pos=roms[0]),
+            PortConfig("store", "a", domain=0, phase=phases[1], rom_pos=roms[1]),
+        ]
+        self.unit = self.circuit.add(
+            PreVVUnit("u", self.memory, self.controller, ports, depth)
+        )
+        # Wire each port channel from a silent source so validate() passes.
+        for i in range(2):
+            src = self.circuit.add(Source(f"s{i}", limit=0))
+            self.circuit.connect(src, "out", self.unit, self.unit.port_name(i))
+
+    def inject(self, port, index, value, iteration, version=None):
+        """Simulate a packet arrival (earlier skipped slots become fakes)."""
+        for gap in range(self.unit._expected[port], iteration):
+            if gap not in self.unit._pending[port]:
+                self.inject_fake(port, gap)
+        token = Token((index, value), {0: iteration}, version)
+        record = self.unit._decode(port, token)
+        self.unit._pending[port][record.iteration] = record
+        if not record.fake and not record.done:
+            if record.iteration > self.unit._last_real_iter[port]:
+                self.unit._last_real_iter[port] = record.iteration
+
+    def inject_fake(self, port, iteration):
+        token = Token(("fake",), {0: iteration})
+        record = self.unit._decode(port, token)
+        self.unit._pending[port][record.iteration] = record
+
+    def drain(self, rounds=20):
+        for _ in range(rounds):
+            budget = self.unit.validations_per_cycle
+            while budget:
+                choice = self.unit._next_processable()
+                if choice is None:
+                    break
+                i, rec = choice
+                del self.unit._pending[i][rec.iteration]
+                squashed = self.unit._process(i, rec)
+                if not squashed:
+                    from repro.prevv.properties import ITER_DONE
+
+                    self.unit._expected[i] = (
+                        ITER_DONE if rec.done else rec.iteration + 1
+                    )
+                budget -= 1
+                if squashed:
+                    return
+
+    @property
+    def pending_squashes(self):
+        return list(self.controller._pending)
+
+
+class TestRawDetection:
+    def test_stale_load_accused_by_late_store(self):
+        """Eqs. 2-5: store (iter 0) arrives after a younger load that read
+        a different value -> the load's iteration squashes."""
+        h = Harness()
+        h.memory.store("a", 3, 7, tags={0: 0})       # the store's commit
+        h.inject(0, index=3, value=0, iteration=1, version=0)  # stale read
+        h.drain()
+        h.inject(1, index=3, value=7, iteration=0)
+        h.drain()
+        assert (0, 1) in h.pending_squashes
+        assert h.unit.violations_by_kind["raw"] == 1
+
+    def test_value_equal_reorder_is_benign(self):
+        """The paper's value-based insight: equal values never squash."""
+        h = Harness()
+        h.memory.store("a", 3, 7, tags={0: 0})
+        h.inject(0, index=3, value=7, iteration=1, version=5)  # read new value
+        h.drain()
+        h.inject(1, index=3, value=7, iteration=0)
+        h.drain()
+        assert not h.pending_squashes
+        assert h.unit.benign_reorders >= 1
+
+    def test_load_checks_older_queued_store_on_arrival(self):
+        """Deferred case A: the store is already queued when the stale
+        load's packet reaches the arbiter."""
+        h = Harness()
+        h.memory.store("a", 4, 9, tags={0: 0})
+        h.inject(1, index=4, value=9, iteration=0)
+        h.drain()
+        h.inject(0, index=4, value=1, iteration=1, version=0)  # stale
+        h.drain()
+        assert (0, 1) in h.pending_squashes
+
+    def test_different_index_never_conflicts(self):
+        h = Harness()
+        h.memory.store("a", 5, 9, tags={0: 0})
+        h.inject(0, index=3, value=0, iteration=1, version=0)
+        h.drain()
+        h.inject(1, index=5, value=9, iteration=0)
+        h.drain()
+        assert not h.pending_squashes
+
+
+class TestWarDetection:
+    def test_older_load_that_read_too_new(self):
+        """WAR: a younger store committed before an older load read."""
+        h = Harness()
+        record = h.memory.store("a", 2, 50, tags={0: 5})  # younger store
+        h.inject(1, index=2, value=50, iteration=5)
+        h.drain()
+        # Older load (iteration 1) read AFTER the commit (version proves it)
+        # and saw the new value 50 instead of the old 0.
+        h.inject(0, index=2, value=50, iteration=1, version=record.serial)
+        h.drain()
+        assert (0, 1) in h.pending_squashes
+
+    def test_older_load_that_read_before_commit_is_fine(self):
+        h = Harness()
+        h.memory.store("a", 2, 50, tags={0: 5})
+        h.inject(1, index=2, value=50, iteration=5)
+        h.drain()
+        # Load read the old value before the commit: consistent.
+        h.inject(0, index=2, value=0, iteration=1, version=0)
+        h.drain()
+        assert not h.pending_squashes
+
+
+class TestFakesAndRetirement:
+    def test_fake_advances_iteration(self):
+        h = Harness()
+        h.inject_fake(0, 0)
+        h.inject_fake(0, 1)
+        h.drain()
+        assert h.unit._expected[0] == 2
+        assert h.unit.fake_tokens == 2
+
+    def test_entries_retire_once_both_sides_pass(self):
+        # ROM order: store (rom 1) before load (rom 2), as in an iteration
+        # that stores x[i] and a later statement reads it back.
+        h = Harness(roms=(2, 1))
+        record = h.memory.store("a", 1, 5, tags={0: 0})
+        h.inject(1, index=1, value=5, iteration=0)
+        h.inject(0, index=1, value=5, iteration=0, version=record.serial)
+        h.drain()
+        assert h.unit.queue.occupancy == 2
+        h.inject_fake(0, 1)
+        h.inject_fake(1, 1)
+        h.drain()
+        h.unit._retire()
+        assert h.unit.queue.occupancy == 0
+
+    def test_queue_full_asserts_backpressure(self):
+        h = Harness(depth=2)
+        for it in range(2):
+            h.memory.store("a", 10 + it, it, tags={0: it})
+            h.inject(1, index=10 + it, value=it, iteration=it)
+        h.drain()
+        assert h.unit.queue.is_full
+
+    def test_reorder_window_rejects_far_future(self):
+        """Acceptance refuses records beyond expected + window."""
+        h = Harness()
+        ch = Channel("probe")
+        ch.valid = True
+        ch.data = Token((1, 1), {0: h.unit.reorder_window + 5})
+        ch.consumer = h.unit
+        ch.consumer_port = h.unit.port_name(0)
+        assert not h.unit._accepts(0, ch)
+
+    def test_positions_order_phases_lexicographically(self):
+        h = Harness(phases=(1, 0))
+        h.memory.store("a", 3, 8, tags={0: 0})
+        h.inject(1, index=3, value=8, iteration=0)   # store in phase 0
+        h.drain()
+        # Load in phase 1, iteration 0: later in program order than any
+        # phase-0 operation despite the equal iteration number.
+        h.inject(0, index=3, value=0, iteration=0, version=0)  # stale
+        h.drain()
+        assert (0, 0) in h.pending_squashes
