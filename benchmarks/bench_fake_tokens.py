@@ -14,7 +14,7 @@ import pytest
 
 from repro.compile import compile_function
 from repro.config import HardwareConfig
-from repro.dataflow import Simulator, Sink
+from repro.dataflow import Simulator
 from repro.errors import DeadlockError, SimulationError
 from repro.eval import make_done_condition
 from repro.kernels import get_kernel

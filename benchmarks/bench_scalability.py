@@ -11,14 +11,8 @@ Eq. (11) for the hypothetical naive one.
 
 import pytest
 
-from repro.analysis import (
-    analyze_function,
-    max_pairs_per_op,
-    naive_complexity,
-    reduce_pairs,
-    reduced_complexity,
-)
-from repro.area import circuit_report, component_cost
+from repro.analysis import analyze_function, max_pairs_per_op, naive_complexity, reduce_pairs
+from repro.area import component_cost
 from repro.compile import compile_function
 from repro.config import HardwareConfig
 from repro.ir import Function, IRBuilder

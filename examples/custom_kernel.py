@@ -15,7 +15,6 @@ matrix-vector product with output accumulation):
 """
 
 from repro.analysis import analyze_function, matched_depth, reduce_pairs
-from repro.compile import compile_function
 from repro.config import HardwareConfig
 from repro.eval import run_kernel
 from repro.ir import Function, IRBuilder, run_golden, verify_function

@@ -11,7 +11,12 @@ from .polyhedral import (
     Dependence,
     classify_dependence,
 )
-from .ambiguous_pairs import AmbiguousPair, MemoryAnalysis, analyze_function
+from .ambiguous_pairs import (
+    AmbiguousPair,
+    MemoryAnalysis,
+    analyze_function,
+    classify_with_loops,
+)
 from .reduction import (
     PreVVGroup,
     max_pairs_per_op,
@@ -21,6 +26,9 @@ from .reduction import (
     reduced_complexity,
 )
 from .sizing import (
+    DEFAULT_P_SQUASH,
+    DEFAULT_T_ORG,
+    DEFAULT_T_TOKEN,
     independent_pairs,
     is_matched,
     matched_depth,
@@ -39,12 +47,16 @@ __all__ = [
     "AmbiguousPair",
     "MemoryAnalysis",
     "analyze_function",
+    "classify_with_loops",
     "PreVVGroup",
     "max_pairs_per_op",
     "naive_complexity",
     "naive_frequency",
     "reduce_pairs",
     "reduced_complexity",
+    "DEFAULT_P_SQUASH",
+    "DEFAULT_T_ORG",
+    "DEFAULT_T_TOKEN",
     "independent_pairs",
     "is_matched",
     "matched_depth",

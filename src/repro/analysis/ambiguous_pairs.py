@@ -3,7 +3,11 @@
 An *ambiguous pair* ``Am{C^m, C^n}`` is a load and a store on the same
 array whose subscripts may conflict across iterations (Sec. III,
 Definition 1).  The extraction runs the affine dependence analysis over
-every (load, store) combination per array.
+every (load, store) combination per array, then refines the subscript
+verdict with loop context (:func:`classify_with_loops`): equal subscripts
+only mean *same iteration* when every surrounding loop level actually
+advances the subscript — ``A[i]`` accessed inside an inner ``j`` loop
+conflicts with itself across ``j`` iterations.
 
 :func:`analyze_function` returns a :class:`MemoryAnalysis` that the
 compiler uses to decide, per array, whether a plain memory controller
@@ -16,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from ..ir.function import Function
-from ..ir.instructions import LoadInst, StoreInst
+from ..ir.instructions import Instruction, LoadInst, StoreInst
 from ..ir.loops import Loop, find_loops, innermost_loop_of
 from .polyhedral import AffineAnalyzer, Dependence, classify_dependence
 
@@ -61,9 +65,59 @@ class MemoryAnalysis:
         return set(self.function.arrays) - self.conflicted_arrays
 
 
+def _refine_same_iteration(
+    loops: List[Loop],
+    a: Instruction,
+    b: Instruction,
+    ivs,
+) -> Dependence:
+    """Demote SAME_ITERATION to MAY_CONFLICT when loop context breaks it.
+
+    ``classify_dependence`` decides SAME_ITERATION from the subscripts
+    alone — equal affine forms over a single IV.  That verdict implicitly
+    assumes "one iteration" is well defined for both accesses: they must
+    sit in the same innermost loop, and every loop level surrounding them
+    must advance the subscript.  If an enclosing loop contributes no IV
+    (``A[i]`` under an inner ``j`` loop), the same address is re-touched
+    on every iteration of that loop — a genuine cross-iteration conflict.
+    """
+    loop_a = innermost_loop_of(loops, a.parent)
+    loop_b = innermost_loop_of(loops, b.parent)
+    if loop_a is not loop_b:
+        return Dependence.MAY_CONFLICT
+    iv_set = set(ivs)
+    loop: Optional[Loop] = loop_a
+    while loop is not None:
+        if not (set(loop.header.phis) & iv_set):
+            return Dependence.MAY_CONFLICT
+        loop = loop.parent
+    return Dependence.SAME_ITERATION
+
+
+def classify_with_loops(
+    analyzer: AffineAnalyzer,
+    loops: List[Loop],
+    a: Instruction,
+    b: Instruction,
+) -> Dependence:
+    """Loop-aware dependence class between two accesses of one array.
+
+    Runs the subscript-level :func:`classify_dependence`, then applies
+    :func:`_refine_same_iteration` — the sound entry point the analysis
+    and the linter's cross-check both use.
+    """
+    expr_a = analyzer.analyze(a.index)
+    expr_b = analyzer.analyze(b.index)
+    kind = classify_dependence(expr_a, expr_b)
+    if kind is Dependence.SAME_ITERATION:
+        kind = _refine_same_iteration(loops, a, b, expr_a.iv_coeffs)
+    return kind
+
+
 def analyze_function(fn: Function) -> MemoryAnalysis:
     """Run the dependence analysis and collect every ambiguous pair."""
     analyzer = AffineAnalyzer(fn)
+    loops = find_loops(fn)
     analysis = MemoryAnalysis(fn)
     by_array: Dict[str, Dict[str, list]] = {}
     for block in fn.blocks:
@@ -78,10 +132,8 @@ def analyze_function(fn: Function) -> MemoryAnalysis:
 
     for array, ops in by_array.items():
         for load in ops["loads"]:
-            load_expr = analyzer.analyze(load.index)
             for store in ops["stores"]:
-                store_expr = analyzer.analyze(store.index)
-                kind = classify_dependence(load_expr, store_expr)
+                kind = classify_with_loops(analyzer, loops, load, store)
                 analysis.classifications[(id(load), id(store))] = kind
                 if kind is Dependence.MAY_CONFLICT:
                     analysis.pairs.append(AmbiguousPair(load, store, array))

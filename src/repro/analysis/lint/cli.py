@@ -1,0 +1,124 @@
+"""Command-line front end: ``python -m repro.lint <kernel> [options]``.
+
+Runs the full three-layer analysis over one registered kernel (or every
+kernel with ``all``) under a chosen hardware configuration, prints the
+report and exits non-zero when any error-severity diagnostic fired — so
+the linter slots directly into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ...config import MEMORY_STYLES, HardwareConfig
+from ...kernels import kernel_names
+from .diagnostics import CODES, Severity
+from .driver import lint_kernel
+from .registry import all_passes
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static analyzer for PreVV dataflow kernels: IR "
+        "well-formedness, circuit deadlock/token checks and PreVV "
+        "configuration audits.",
+    )
+    parser.add_argument(
+        "kernel",
+        nargs="?",
+        help="registered kernel name, or 'all' for every kernel "
+        f"(known: {', '.join(kernel_names())})",
+    )
+    parser.add_argument(
+        "--config",
+        dest="style",
+        default="prevv",
+        choices=MEMORY_STYLES,
+        help="memory style to compile under (default: prevv)",
+    )
+    parser.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        help="premature-queue depth override (default: config default)",
+    )
+    parser.add_argument(
+        "--min-severity",
+        default="info",
+        choices=[s.value for s in Severity],
+        help="hide diagnostics below this severity (default: info)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report(s) as JSON instead of text",
+    )
+    parser.add_argument(
+        "--list-codes",
+        action="store_true",
+        help="print the diagnostic code table and exit",
+    )
+    parser.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="print the registered lint passes and exit",
+    )
+    return parser
+
+
+def _list_codes() -> str:
+    lines = ["code   severity  title"]
+    for code, (severity, title) in sorted(CODES.items()):
+        lines.append(f"{code}  {severity.value:<8}  {title}")
+    return "\n".join(lines)
+
+
+def _list_passes() -> str:
+    lines = ["layer    pass                        codes"]
+    for pass_cls in all_passes():
+        codes = ", ".join(pass_cls.codes)
+        lines.append(f"{pass_cls.layer:<7}  {pass_cls.name:<26}  {codes}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    ns = parser.parse_args(argv)
+    if ns.list_codes:
+        print(_list_codes())
+        return 0
+    if ns.list_passes:
+        print(_list_passes())
+        return 0
+    if ns.kernel is None:
+        parser.error("a kernel name (or 'all') is required")
+
+    overrides = {"memory_style": ns.style}
+    if ns.depth is not None:
+        overrides["prevv_depth"] = ns.depth
+    config = HardwareConfig(**overrides)
+    names = kernel_names() if ns.kernel == "all" else [ns.kernel]
+    min_severity = Severity.parse(ns.min_severity)
+
+    reports = []
+    for name in names:
+        try:
+            reports.append(lint_kernel(name, config))
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+
+    if ns.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.format(min_severity=min_severity))
+    return 0 if all(r.ok for r in reports) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -28,11 +28,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set
 
 from ..ir.function import Function
 from ..ir.instructions import BinaryInst, LoadInst, PhiInst, SelectInst
-from ..ir.loops import Loop, find_loops, innermost_loop_of
+from ..ir.loops import find_loops
 from ..ir.values import Argument, ConstInt, Value
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List
 
 from ..ir.instructions import LoadInst, StoreInst
 from .ambiguous_pairs import AmbiguousPair, MemoryAnalysis

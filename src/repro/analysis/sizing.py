@@ -19,11 +19,16 @@ and the automatic depth suggestion in :func:`suggest_depth`.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Optional, Sequence, Set
 
 from ..errors import AnalysisError
+
+#: Default pipeline estimates for the Sec. V-A matched-depth model, shared
+#: by the compile pipeline and the PreVV-sizing lint pass so both report
+#: the same analytical bound.
+DEFAULT_T_ORG = 3.0
+DEFAULT_P_SQUASH = 0.05
+DEFAULT_T_TOKEN = 60.0
 
 
 def pair_execution_time(t_org: float, p_squash: float) -> float:

@@ -7,7 +7,7 @@ neither LSQ nor PreVV utilizes DSP").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable
 
 

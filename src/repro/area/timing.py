@@ -21,7 +21,6 @@ LSQ baselines and barely moves from depth 16 to 64.
 from __future__ import annotations
 
 import math
-from typing import Dict
 
 from .report import circuit_report
 

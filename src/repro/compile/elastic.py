@@ -28,7 +28,7 @@ if-branch whose skip edge can trigger the fake token.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis import MemoryAnalysis, PreVVGroup, analyze_function, reduce_pairs
 from ..config import HardwareConfig
@@ -40,7 +40,6 @@ from ..dataflow import (
     Entry,
     Fifo,
     Fork,
-    Merge,
     Mux,
     OpaqueBuffer,
     Operator,

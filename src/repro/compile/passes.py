@@ -10,17 +10,22 @@ the programmatic analogue of ``--print-after-all``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..analysis import (
+    DEFAULT_P_SQUASH,
+    DEFAULT_T_ORG,
+    DEFAULT_T_TOKEN,
     MemoryAnalysis,
     PreVVGroup,
     analyze_function,
     reduce_pairs,
     suggest_depth,
 )
+from ..analysis.lint import LintReport, lint_build
 from ..config import HardwareConfig
+from ..errors import CompileError
 from ..ir import Function, verify_function
 from .elastic import BuildResult, compile_function
 
@@ -34,6 +39,8 @@ class CompilationReport:
     groups: List[PreVVGroup]
     suggested_depth: Optional[int]
     build: BuildResult
+    #: post-build static-analysis report (None when linting was disabled)
+    lint: Optional[LintReport] = None
 
     @property
     def needs_disambiguation(self) -> bool:
@@ -59,6 +66,8 @@ class CompilationReport:
             f"{len(self.build.units)} PreVV units, "
             f"{len(self.build.lsqs)} LSQs"
         )
+        if self.lint is not None:
+            lines.append("  " + self.lint.summary())
         return "\n".join(lines)
 
 
@@ -66,16 +75,24 @@ def run_pipeline(
     fn: Function,
     config: HardwareConfig,
     args: Optional[Dict[str, int]] = None,
-    t_org: float = 3.0,
-    p_squash: float = 0.05,
-    t_token: float = 60.0,
+    t_org: float = DEFAULT_T_ORG,
+    p_squash: float = DEFAULT_P_SQUASH,
+    t_token: float = DEFAULT_T_TOKEN,
+    lint: bool = True,
 ) -> CompilationReport:
-    """Verify -> analyze -> reduce -> (size) -> synthesize.
+    """Verify -> analyze -> reduce -> (size) -> synthesize -> lint.
 
     The sizing stage applies the Sec. V-A matched-depth model with the
     given pipeline estimates; it only *reports* the suggestion — the
     generated circuit uses ``config.prevv_depth`` so that evaluation
     sweeps stay explicit.
+
+    The final stage runs the circuit- and PreVV-layer lint passes over
+    the build (the IR layer already ran inside ``verify_function``) and
+    raises :class:`CompileError` on any error-severity finding — a
+    generated circuit that can deadlock or miss ordering hardware never
+    reaches simulation.  Pass ``lint=False`` to skip (e.g. when
+    deliberately building stress-test configurations).
     """
     verify_function(fn)
     analysis = analyze_function(fn)
@@ -84,10 +101,17 @@ def run_pipeline(
     if groups and config.memory_style == "prevv":
         depth = suggest_depth(t_org, p_squash, t_token)
     build = compile_function(fn, config, args=args)
+    lint_report = None
+    if lint:
+        lint_report = lint_build(build, fn=fn, config=config)
+        if not lint_report.ok:
+            details = "; ".join(d.format() for d in lint_report.errors)
+            raise CompileError(f"{fn.name}: circuit lint failed: {details}")
     return CompilationReport(
         function=fn,
         analysis=analysis,
         groups=groups,
         suggested_depth=depth,
         build=build,
+        lint=lint_report,
     )

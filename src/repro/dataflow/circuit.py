@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Dict, List, Optional
 
 from ..errors import CircuitError
 from .channel import Channel

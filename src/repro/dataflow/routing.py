@@ -18,7 +18,7 @@ exactly as Dynamatic's netlist generator does:
 from __future__ import annotations
 
 from .component import Component
-from .token import Token, combine
+from .token import combine
 
 
 class Merge(Component):

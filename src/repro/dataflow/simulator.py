@@ -22,7 +22,7 @@ of a premature-queue deadlock.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from ..errors import ConvergenceError, DeadlockError, SimulationError
 from .channel import Channel

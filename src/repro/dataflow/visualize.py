@@ -10,7 +10,7 @@ control, buffers) so generated circuits can be inspected visually:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 _FAMILY_STYLE = {
     "lsq": ("box3d", "#e39898"),

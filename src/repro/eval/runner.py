@@ -10,13 +10,12 @@ golden run (the C++ reference), and attach the area/timing estimates
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..compile import BuildResult, compile_function
 from ..config import HardwareConfig
 from ..dataflow import Simulator
-from ..errors import SimulationError
-from ..ir import Function, run_golden
+from ..ir import run_golden
 
 
 @dataclass

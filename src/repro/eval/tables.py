@@ -118,7 +118,6 @@ def table2(
 # Formatting
 # ----------------------------------------------------------------------
 def _geomean_deltas(rows, metric: str, config: str, base: str = "fast_lsq"):
-    values = getattr(rows[0], metric)
     ratios = [
         getattr(r, metric)[config] / getattr(r, metric)[base] for r in rows
     ]

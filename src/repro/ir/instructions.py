@@ -9,7 +9,7 @@ non-terminator instruction is itself a :class:`~repro.ir.values.Value`
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import List, Optional, Tuple, TYPE_CHECKING
 
 from .types import I1, I32, VOID, Type
 from .values import ArrayDecl, Value

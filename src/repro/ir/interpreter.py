@@ -24,12 +24,11 @@ from .instructions import (
     Instruction,
     JumpInst,
     LoadInst,
-    PhiInst,
     RetInst,
     SelectInst,
     StoreInst,
 )
-from .values import Argument, ConstInt, Value
+from .values import ConstInt, Value
 
 _BINARY_FNS = {
     "add": lambda a, b: a + b,

@@ -8,7 +8,6 @@ from .instructions import (
     BranchInst,
     JumpInst,
     LoadInst,
-    PhiInst,
     RetInst,
     SelectInst,
     StoreInst,

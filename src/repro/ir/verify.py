@@ -1,86 +1,24 @@
-"""IR well-formedness verifier.
+"""IR well-formedness verifier (compatibility wrapper).
 
-Checks the structural invariants that the elastic-circuit builder relies
-on; run before compilation so synthesis bugs surface as IR diagnostics.
+The actual checks live in the lint framework's IR layer
+(:mod:`repro.analysis.lint.ir_passes`, codes ``PV0xx``), which extends
+the historical verifier with dominance checking and memory hygiene.
+:func:`verify_function` keeps the raise-on-error contract the builder and
+the tests rely on: run the IR lint passes, raise :class:`IRError` listing
+every error-severity finding.
 """
 
 from __future__ import annotations
 
-from typing import List, Set
-
 from ..errors import IRError
 from .function import Function
-from .instructions import (
-    BinaryInst,
-    Instruction,
-    LoadInst,
-    PhiInst,
-    StoreInst,
-)
-from .values import Argument, ConstInt, Value
 
 
 def verify_function(fn: Function) -> None:
     """Raise :class:`IRError` listing every problem found."""
-    problems: List[str] = []
-    blocks = fn.blocks
-    if not blocks:
-        raise IRError(f"{fn.name}: function has no blocks")
+    from ..analysis.lint import lint_ir
 
-    block_set = set(id(b) for b in blocks)
-    defined: Set[int] = set(id(a) for a in fn.args)
-    for block in blocks:
-        for inst in block.all_instructions():
-            defined.add(id(inst))
-
-    for block in blocks:
-        term = block.terminator
-        if term is None:
-            problems.append(f"block {block.name}: missing terminator")
-        else:
-            for succ in term.successors:
-                if id(succ) not in block_set:
-                    problems.append(
-                        f"block {block.name}: successor {succ.name} not in function"
-                    )
-        for i, inst in enumerate(block.instructions[:-1]):
-            if inst.is_terminator:
-                problems.append(
-                    f"block {block.name}: terminator not last (position {i})"
-                )
-
-        preds = fn.predecessors(block)
-        pred_ids = set(id(p) for p in preds)
-        for phi in block.phis:
-            incoming_ids = set(id(b) for b, _ in phi.incomings)
-            if incoming_ids != pred_ids:
-                pred_names = sorted(p.name for p in preds)
-                inc_names = sorted(b.name for b, _ in phi.incomings)
-                problems.append(
-                    f"phi {phi.name} in {block.name}: incomings {inc_names} "
-                    f"!= predecessors {pred_names}"
-                )
-
-        for inst in block.all_instructions():
-            for op in inst.operands:
-                if isinstance(op, (ConstInt,)):
-                    continue
-                if id(op) not in defined:
-                    problems.append(
-                        f"{block.name}/{inst.name}: operand {op.short()} "
-                        "is not defined in this function"
-                    )
-            if isinstance(inst, (LoadInst, StoreInst)):
-                if inst.array.name not in fn.arrays:
-                    problems.append(
-                        f"{block.name}/{inst.name}: unknown array "
-                        f"{inst.array.name!r}"
-                    )
-
-    reachable = set(id(b) for b in fn.reachable_blocks())
-    for block in blocks:
-        if id(block) not in reachable:
-            problems.append(f"block {block.name}: unreachable from entry")
-
-    if problems:
-        raise IRError(f"{fn.name}: " + "; ".join(problems))
+    report = lint_ir(fn)
+    if not report.ok:
+        problems = "; ".join(d.message for d in report.errors)
+        raise IRError(f"{fn.name}: {problems}")

@@ -10,7 +10,7 @@ the PreVV builder supports and the shape polyhedral HLS benchmarks take.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from ..ir import Function, run_golden
 

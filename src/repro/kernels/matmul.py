@@ -13,7 +13,6 @@ paper's benchmarks.
 
 from __future__ import annotations
 
-from typing import List
 
 from ..ir import Function, IRBuilder
 from ..ir.values import ArrayDecl

@@ -1,0 +1,14 @@
+"""``python -m repro.lint`` — run the static analyzer from the shell.
+
+Thin executable shim over :mod:`repro.analysis.lint.cli`; see that module
+for the option set.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .analysis.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,11 +27,11 @@ Ports:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..dataflow.component import Component
-from ..dataflow.token import Token, combine, merge_tags
+from ..dataflow.token import Token, combine
 from ..errors import QueueOverflowError
 from ..memory.ram import Memory
 

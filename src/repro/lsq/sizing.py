@@ -11,7 +11,7 @@ benchmarks can contrast "shrink the LSQ" with "replace the LSQ".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..area import circuit_report
 from ..config import HardwareConfig

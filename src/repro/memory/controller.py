@@ -20,10 +20,10 @@ from __future__ import annotations
 
 from collections import deque
 from typing import Dict
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List
 
 from ..dataflow.component import Component
-from ..dataflow.token import Token, combine, merge_tags
+from ..dataflow.token import combine, merge_tags
 from .ram import Memory
 
 

@@ -31,10 +31,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..dataflow.component import Component
 from ..dataflow.token import Token
-from ..errors import ValidationError
 from ..memory.ram import Memory
 from .premature_queue import PrematureQueue
-from .properties import ITER_DONE, Position, PTuple
+from .properties import ITER_DONE, PTuple
 from .replay import SquashController
 
 

@@ -1,0 +1,230 @@
+"""IR-layer lint passes: each PV0xx code on deliberately broken IR,
+plus the ``verify_function`` compatibility wrapper."""
+
+import pytest
+
+from repro.analysis.lint import Severity, lint_ir
+from repro.errors import IRError
+from repro.ir import Function, IRBuilder, verify_function
+from repro.ir.basicblock import BasicBlock
+
+
+def simple_loop(b, n=8):
+    """entry -> header(phi i) -> body -> header, exit."""
+    entry = b.block("entry")
+    header = b.block("header")
+    body = b.block("body")
+    exit_ = b.block("exit")
+    b.at(entry).jmp(header)
+    b.at(header)
+    i = b.phi("i")
+    i.add_incoming(entry, b.const(0))
+    cond = b.lt(i, n)
+    b.br(cond, body, exit_)
+    return entry, header, body, exit_, i
+
+
+def close_loop(b, header, body, exit_, i):
+    b.at(body)
+    i_next = b.add(i, 1, name="i_next")
+    i.add_incoming(body, i_next)
+    b.jmp(header)
+    b.at(exit_).ret()
+
+
+class TestIrDiagnostics:
+    def test_pv001_empty_function(self):
+        report = lint_ir(Function("empty"))
+        assert [d.code for d in report.errors] == ["PV001"]
+
+    def test_pv002_missing_terminator(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        e = b.block("entry")
+        b.at(e)
+        b.add(b.const(1), 2)
+        report = lint_ir(fn)
+        assert "PV002" in report.codes()
+        assert any("missing terminator" in d.message for d in report.errors)
+
+    def test_pv003_terminator_not_last(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        e = b.block("entry")
+        b.at(e)
+        b.add(b.const(1), 2)
+        b.ret()
+        # Smuggle the terminator out of last position (append() forbids it).
+        e.instructions.reverse()
+        report = lint_ir(fn)
+        assert "PV003" in report.codes()
+
+    def test_pv004_successor_outside_function(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        e = b.block("entry")
+        foreign = BasicBlock("foreign")
+        b.at(e).jmp(foreign)
+        report = lint_ir(fn)
+        assert "PV004" in report.codes()
+
+    def test_pv005_phi_incoming_mismatch(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        entry, header, body, exit_, i = simple_loop(b)
+        # Close the loop without registering the back-edge incoming.
+        b.at(body).jmp(header)
+        b.at(exit_).ret()
+        report = lint_ir(fn)
+        assert "PV005" in report.codes()
+        assert any("incomings" in d.message for d in report.by_code("PV005"))
+
+    def test_pv006_foreign_operand(self):
+        other = Function("other")
+        ob = IRBuilder(other)
+        oe = ob.block("entry")
+        ob.at(oe)
+        foreign_val = ob.add(ob.const(1), 1)
+        ob.ret()
+
+        fn = Function("f")
+        b = IRBuilder(fn)
+        e = b.block("entry")
+        b.at(e)
+        b.add(foreign_val, 2)
+        b.ret()
+        report = lint_ir(fn)
+        assert "PV006" in report.codes()
+
+    def test_pv007_undeclared_array(self):
+        other = Function("other")
+        ob = IRBuilder(other)
+        foreign_arr = ob.array("z", 16)
+
+        fn = Function("f")
+        b = IRBuilder(fn)
+        e = b.block("entry")
+        b.at(e)
+        b.load(foreign_arr, b.const(0))
+        b.ret()
+        report = lint_ir(fn)
+        assert "PV007" in report.codes()
+
+    def test_pv008_unreachable_block(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        e = b.block("entry")
+        island = b.block("island")
+        b.at(e).ret()
+        b.at(island).ret()
+        report = lint_ir(fn)
+        assert "PV008" in report.codes()
+        assert any("unreachable" in d.message for d in report.errors)
+
+    def test_pv009_store_to_constant_address_in_loop(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        arr = b.array("a", 64)
+        entry, header, body, exit_, i = simple_loop(b)
+        b.at(body)
+        b.store(arr, b.const(5), i)
+        # Reposition: close_loop appends after the store.
+        close_loop(b, header, body, exit_, i)
+        report = lint_ir(fn)
+        pv009 = report.by_code("PV009")
+        assert len(pv009) == 1
+        assert pv009[0].severity is Severity.WARNING
+        assert report.ok  # warning only
+
+    def test_pv010_use_not_dominated(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        n = b.arg("n")
+        entry = b.block("entry")
+        then = b.block("then")
+        other = b.block("other")
+        join = b.block("join")
+        b.at(entry)
+        cond = b.lt(n, 10)
+        b.br(cond, then, other)
+        b.at(then)
+        v = b.add(n, 1)
+        b.jmp(join)
+        b.at(other).jmp(join)
+        b.at(join)
+        b.add(v, 2)  # v only defined on the then-path
+        b.ret()
+        report = lint_ir(fn)
+        assert "PV010" in report.codes()
+        assert any("not dominated" in d.message for d in report.by_code("PV010"))
+
+    def test_pv011_loop_carried_pair_reported(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        arr = b.array("a", 64)
+        entry, header, body, exit_, i = simple_loop(b)
+        b.at(body)
+        v = b.load(arr, i)
+        b.store(arr, b.add(i, 1), v)
+        close_loop(b, header, body, exit_, i)
+        report = lint_ir(fn)
+        pv011 = report.by_code("PV011")
+        assert len(pv011) == 1
+        assert pv011[0].severity is Severity.INFO
+        assert "ambiguous pair" in pv011[0].message
+
+    def test_clean_function_is_clean(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        arr = b.array("a", 64)
+        entry, header, body, exit_, i = simple_loop(b)
+        b.at(body)
+        v = b.load(arr, i)
+        b.store(arr, i, v)
+        close_loop(b, header, body, exit_, i)
+        report = lint_ir(fn)
+        assert report.ok
+        assert not report.warnings
+
+
+class TestVerifyFunctionWrapper:
+    def test_raises_with_function_name_prefix(self):
+        fn = Function("broken")
+        b = IRBuilder(fn)
+        e = b.block("entry")
+        b.at(e)
+        b.add(b.const(1), 2)
+        with pytest.raises(IRError, match=r"broken: .*missing terminator"):
+            verify_function(fn)
+
+    def test_no_blocks_message_preserved(self):
+        with pytest.raises(IRError, match="function has no blocks"):
+            verify_function(Function("empty"))
+
+    def test_joins_multiple_problems(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        e = b.block("entry")
+        island = b.block("island")
+        b.at(island).ret()
+        b.at(e)
+        b.add(b.const(1), 2)  # no terminator
+        with pytest.raises(IRError, match="missing terminator.*;.*unreachable"):
+            verify_function(fn)
+
+    def test_clean_function_passes(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        e = b.block("entry")
+        b.at(e).ret()
+        verify_function(fn)  # no raise
+
+    def test_warnings_do_not_raise(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        arr = b.array("a", 64)
+        entry, header, body, exit_, i = simple_loop(b)
+        b.at(body)
+        b.store(arr, b.const(5), i)
+        close_loop(b, header, body, exit_, i)
+        verify_function(fn)  # PV009 is warning-severity: must not raise

@@ -1,0 +1,165 @@
+"""PreVV-configuration lint passes (PV2xx) and the PreVV circuit
+coverage checks (PV105-PV107) on deliberately doctored builds."""
+
+import pytest
+
+from repro.analysis import AmbiguousPair
+from repro.analysis.lint import (
+    LintContext,
+    LintReport,
+    Severity,
+    lint_build,
+    lint_kernel,
+    run_passes,
+)
+from repro.compile.elastic import compile_function
+from repro.config import HardwareConfig
+from repro.kernels import get_kernel
+
+
+def compiled(name, **config_overrides):
+    config = HardwareConfig(memory_style="prevv", **config_overrides)
+    kernel = get_kernel(name)
+    fn = kernel.build_ir()
+    build = compile_function(fn, config, args=kernel.args)
+    return fn, config, build
+
+
+class TestQueueDepth:
+    def test_pv201_depth_below_bound(self):
+        report = lint_kernel(
+            "fig2a", HardwareConfig(memory_style="prevv", prevv_depth=2)
+        )
+        pv201 = report.by_code("PV201")
+        assert len(pv201) == 1
+        assert pv201[0].severity is Severity.WARNING
+        assert report.ok  # warning, not error
+
+    def test_pv205_depth_not_power_of_two(self):
+        report = lint_kernel(
+            "fig2a", HardwareConfig(memory_style="prevv", prevv_depth=12)
+        )
+        assert "PV205" in report.codes()
+        assert "PV201" in report.codes()  # 12 < bound 16 as well
+
+    def test_default_depth_is_silent(self):
+        report = lint_kernel("fig2a", HardwareConfig(memory_style="prevv"))
+        assert "PV201" not in report.codes()
+        assert "PV205" not in report.codes()
+
+    def test_hazard_free_kernel_needs_no_queue(self):
+        report = lint_kernel(
+            "vadd", HardwareConfig(memory_style="prevv", prevv_depth=1)
+        )
+        assert "PV201" not in report.codes()
+
+
+class TestPairCrossCheck:
+    def test_pv202_missing_pair_is_error(self):
+        fn, config, build = compiled("fig2a")
+        build.analysis.pairs.pop()
+        report = lint_build(build, fn=fn, config=config)
+        pv202 = report.by_code("PV202")
+        assert len(pv202) == 1
+        assert pv202[0].severity is Severity.ERROR
+        assert "missing" in pv202[0].message
+        assert not report.ok
+
+    def test_pv202_unjustified_pair_is_warning(self):
+        fn, config, build = compiled("fig2a")
+        pair = build.analysis.pairs[0]
+        build.analysis.pairs.append(
+            AmbiguousPair(pair.load, pair.store, "bogus")
+        )
+        report = lint_build(build, fn=fn, config=config)
+        pv202 = report.by_code("PV202")
+        assert len(pv202) == 1
+        assert pv202[0].severity is Severity.WARNING
+        assert report.ok
+
+    def test_untouched_build_cross_checks_clean(self):
+        fn, config, build = compiled("fig2a")
+        report = lint_build(build, fn=fn, config=config)
+        assert report.by_code("PV202") == []
+
+
+class TestStyleSoundness:
+    def test_pv204_none_style_with_pairs(self):
+        report = lint_kernel("fig2a", HardwareConfig(memory_style="none"))
+        pv204 = report.by_code("PV204")
+        assert len(pv204) == 1
+        assert not report.ok
+
+    def test_pv204_prevv_build_without_units(self):
+        fn, config, build = compiled("fig2a")
+        build.units.clear()
+        report = lint_build(build, fn=fn, config=config)
+        assert any(
+            "no PreVV unit" in d.message for d in report.by_code("PV204")
+        )
+
+    def test_hazard_free_kernel_allows_none(self):
+        report = lint_kernel("vadd", HardwareConfig(memory_style="none"))
+        assert report.ok
+
+
+class TestDimensionReduction:
+    def test_pv203_duplicate_unit_per_pair(self):
+        fn, config, build = compiled("fig2a")
+        build.units.append(build.units[0])
+        ctx = LintContext(
+            fn=fn, circuit=build.circuit, build=build, config=config,
+            analysis=build.analysis, report=LintReport(subject="t"),
+        )
+        report = run_passes(ctx, layers=("prevv",))
+        pv203 = report.by_code("PV203")
+        assert len(pv203) == 1
+        assert pv203[0].severity is Severity.WARNING
+
+    def test_pv206_reduction_collapses_gaussian(self):
+        report = lint_kernel("gaussian", HardwareConfig(memory_style="prevv"))
+        pv206 = report.by_code("PV206")
+        assert len(pv206) == 1
+        assert pv206[0].severity is Severity.INFO
+        assert report.ok
+
+
+class TestFakeAndDoneCoverage:
+    def test_pv105_missing_fake_path(self):
+        # 2mm's first port is conditionally skipped and carries a fake
+        # generator; disconnecting it must be flagged.
+        fn, config, build = compiled("2mm")
+        unit = build.units[0]
+        assert unit.fake_port_name(0) in unit.inputs
+        del unit.inputs[unit.fake_port_name(0)]
+        report = lint_build(build, fn=fn, config=config)
+        pv105 = report.by_code("PV105")
+        assert len(pv105) == 1
+        assert not report.ok
+
+    def test_pv107_fake_on_unconditional_port(self):
+        fn, config, build = compiled("2mm")
+        unit = build.units[0]
+        assert unit.fake_port_name(1) not in unit.inputs
+        unit.inputs[unit.fake_port_name(1)] = object()
+        report = lint_build(build, fn=fn, config=config)
+        pv107 = report.by_code("PV107")
+        assert len(pv107) == 1
+        assert pv107[0].severity is Severity.INFO
+        assert report.ok
+
+    def test_pv106_missing_done_path(self):
+        fn, config, build = compiled("fig2a")
+        unit = build.units[0]
+        del unit.inputs[unit.done_port_name(0)]
+        report = lint_build(build, fn=fn, config=config)
+        pv106 = report.by_code("PV106")
+        assert len(pv106) == 1
+        assert not report.ok
+
+    @pytest.mark.parametrize("kernel", ["2mm", "gaussian", "triangular"])
+    def test_builder_output_has_full_coverage(self, kernel):
+        fn, config, build = compiled(kernel)
+        report = lint_build(build, fn=fn, config=config)
+        for code in ("PV105", "PV106", "PV107"):
+            assert report.by_code(code) == [], report.format()

@@ -1,6 +1,5 @@
 """Tests for the graph-based span/distance terms of Eqs. 8-10."""
 
-import pytest
 
 from repro.analysis import pair_distance, pair_span, suggest_depth
 from repro.dataflow import Circuit, OpaqueBuffer, Operator, Sink, Source
@@ -43,7 +42,7 @@ class TestDistanceAndSpan:
         b = circuit.add(OpaqueBuffer("b"))
         src = circuit.add(Source("s", value=0))
         circuit.connect(src, "out", a, "in0")
-        chan = circuit.connect(a, "out", b, "in")
+        circuit.connect(a, "out", b, "in")
         snk = circuit.add(Sink("k"))
         back = circuit.connect(b, "out", snk, "in")
         back.is_backedge = True

@@ -6,7 +6,6 @@ import pytest
 
 from repro.area import (
     CATEGORY_COMPUTE,
-    CATEGORY_MEMORY,
     Resources,
     circuit_report,
     clock_period,
@@ -18,7 +17,7 @@ from repro.area import (
 from repro.area.library import COST_LIBRARY
 from repro.compile import compile_function
 from repro.config import HardwareConfig
-from repro.dataflow import Circuit, Fork, OpaqueBuffer, Operator, Sink, Source
+from repro.dataflow import Circuit
 from repro.errors import ConfigError
 from repro.kernels import get_kernel
 from repro.lsq import GroupSpec, LoadStoreQueue

@@ -9,9 +9,6 @@ from repro.errors import CompileError, ConfigError
 from repro.eval.runner import make_done_condition
 from repro.ir import Function, IRBuilder, run_golden
 from repro.kernels import NestBuilder, get_kernel
-from repro.lsq import LoadStoreQueue
-from repro.memory import MemoryController
-from repro.prevv import DomainGate, PreVVUnit
 
 NONE_CFG = HardwareConfig(name="none", memory_style="none")
 DYN = HardwareConfig(name="dyn", memory_style="dynamatic")

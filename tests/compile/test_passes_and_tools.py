@@ -1,6 +1,5 @@
 """Tests for the pass pipeline, LSQ sizing, visualization and report tools."""
 
-import pytest
 
 from repro.compile import CompilationReport, run_pipeline
 from repro.config import HardwareConfig

@@ -5,7 +5,6 @@ import pytest
 from repro.dataflow import (
     Branch,
     Circuit,
-    Constant,
     ControlMerge,
     Entry,
     Fifo,
@@ -92,7 +91,7 @@ class TestBuffers:
         fifo = circuit.add(Fifo("f", depth=2))
         sink = circuit.add(Sink("k"))
         circuit.connect(source, "out", fifo, "in")
-        ch = circuit.connect(fifo, "out", sink, "in")
+        circuit.connect(fifo, "out", sink, "in")
         sim = Simulator(circuit)
         # Block the sink by never letting it propagate ready: replace with a
         # stalled consumer by monkeypatching the sink's propagate.

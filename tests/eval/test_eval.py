@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.config import HardwareConfig
-from repro.errors import ConfigError
 from repro.eval import (
     ALL_CONFIGS,
     DYNAMATIC,

@@ -4,13 +4,7 @@ import pytest
 
 from repro.analysis import analyze_function, reduce_pairs
 from repro.ir import verify_function
-from repro.kernels import (
-    PAPER_KERNELS,
-    Kernel,
-    get_kernel,
-    kernel_names,
-    lcg_values,
-)
+from repro.kernels import PAPER_KERNELS, get_kernel, kernel_names, lcg_values
 
 
 class TestRegistry:

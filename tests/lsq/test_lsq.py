@@ -1,6 +1,5 @@
 """Unit tests for the load-store queue baselines."""
 
-import pytest
 
 from repro.dataflow import Circuit, Simulator, Sink, Source, Token
 from repro.lsq import GroupSpec, LoadStoreQueue, make_dynamatic_lsq, make_fast_lsq

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dataflow import Circuit, Simulator, Sink, Source, Token
+from repro.dataflow import Circuit, Simulator, Sink, Source
 from repro.errors import MemoryError_
 from repro.memory import Memory, MemoryController
 

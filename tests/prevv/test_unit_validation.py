@@ -5,9 +5,8 @@ stubbing its port channels, so each validation rule can be exercised in
 isolation.
 """
 
-import pytest
 
-from repro.dataflow import Channel, Circuit, Sink, Source, Token
+from repro.dataflow import Channel, Circuit, Source, Token
 from repro.memory import Memory
 from repro.prevv import PortConfig, PreVVUnit, SquashController
 
