@@ -19,12 +19,16 @@ These run over a built elastic circuit (``dataflow.circuit.Circuit``):
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from ...dataflow.arith import Operator
 from ...dataflow.buffers import Fifo, OpaqueBuffer, TransparentFifo
 from ...dataflow.primitives import Constant, Entry, Fork, Join, Sink, Source
 from ...dataflow.routing import Branch, ControlMerge, Merge, Mux, Select
+from ...dataflow.schedule import (
+    strongly_connected_components,
+    token_flow_adjacency,
+)
 from ...ir.loops import back_edges, innermost_loop_of
 from ...lsq.lsq import LoadStoreQueue
 from ...memory.controller import MemoryController
@@ -116,14 +120,6 @@ def is_token_consumer(comp) -> bool:
     return isinstance(comp, (Sink, MemoryController, LoadStoreQueue, PreVVUnit))
 
 
-def _adjacency(circuit) -> Dict[int, Set[int]]:
-    adj: Dict[int, Set[int]] = {id(c): set() for c in circuit.components}
-    for chan in circuit.channels:
-        if chan.producer is not None and chan.consumer is not None:
-            adj[id(chan.producer)].add(id(chan.consumer))
-    return adj
-
-
 @register_pass
 class PortConnectivityPass(LintPass):
     """PV101/PV102: every declared port wired, every channel double-ended."""
@@ -183,11 +179,11 @@ class DeadlockCyclePass(LintPass):
 
     def run(self, ctx: LintContext) -> None:
         comps = {id(c): c for c in ctx.circuit.components}
-        adj = _adjacency(ctx.circuit)
+        adj = token_flow_adjacency(ctx.circuit)
         # Remove cycle-cutting components; any remaining cycle is fatal.
         soft = {cid for cid, c in comps.items() if not cuts_token_cycle(c)}
         sub = {cid: {s for s in adj[cid] if s in soft} for cid in soft}
-        for scc in _sccs(sub):
+        for scc in strongly_connected_components(sub):
             cyclic = len(scc) > 1 or scc[0] in sub[scc[0]]
             if not cyclic:
                 continue
@@ -201,55 +197,6 @@ class DeadlockCyclePass(LintPass):
                 hint="insert an OpaqueBuffer (OEHB) or opaque Fifo on "
                 "the cycle",
             )
-
-
-def _sccs(adj: Dict[int, Set[int]]) -> List[List[int]]:
-    """Tarjan's strongly-connected components, iteratively (no recursion)."""
-    index: Dict[int, int] = {}
-    low: Dict[int, int] = {}
-    on_stack: Set[int] = set()
-    stack: List[int] = []
-    sccs: List[List[int]] = []
-    counter = [0]
-
-    for root in adj:
-        if root in index:
-            continue
-        work = [(root, iter(adj[root]))]
-        index[root] = low[root] = counter[0]
-        counter[0] += 1
-        stack.append(root)
-        on_stack.add(root)
-        while work:
-            node, succs = work[-1]
-            advanced = False
-            for succ in succs:
-                if succ not in index:
-                    index[succ] = low[succ] = counter[0]
-                    counter[0] += 1
-                    stack.append(succ)
-                    on_stack.add(succ)
-                    work.append((succ, iter(adj[succ])))
-                    advanced = True
-                    break
-                if succ in on_stack:
-                    low[node] = min(low[node], index[succ])
-            if advanced:
-                continue
-            work.pop()
-            if work:
-                parent = work[-1][0]
-                low[parent] = min(low[parent], low[node])
-            if low[node] == index[node]:
-                scc = []
-                while True:
-                    member = stack.pop()
-                    on_stack.discard(member)
-                    scc.append(member)
-                    if member == node:
-                        break
-                sccs.append(scc)
-    return sccs
 
 
 @register_pass
@@ -269,7 +216,7 @@ class TokenDrainPass(LintPass):
 
     def run(self, ctx: LintContext) -> None:
         comps = {id(c): c for c in ctx.circuit.components}
-        adj = _adjacency(ctx.circuit)
+        adj = token_flow_adjacency(ctx.circuit)
         reverse: Dict[int, Set[int]] = {cid: set() for cid in adj}
         for cid, succs in adj.items():
             for succ in succs:

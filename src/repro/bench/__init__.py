@@ -1,0 +1,221 @@
+"""Simulator performance tracking: ``python -m repro.bench``.
+
+Times the seed kernels under all four hardware configurations with the
+stat-free simulator fast path and writes ``BENCH_simulator.json`` so the
+performance trajectory of the cycle-accurate engine is tracked from PR
+to PR.  ``--check`` compares a fresh run against a committed baseline
+and fails on regression (used by the CI bench smoke job).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..compile import compile_function
+from ..dataflow import Simulator
+from ..eval.configs import ALL_CONFIGS
+from ..eval.runner import make_done_condition
+from ..kernels import PAPER_KERNELS, get_kernel
+
+#: Wall-clock of ``benchmarks/bench_table2_timing.py`` (single process,
+#: reduced sizes) on the reference machine *before* the levelized /
+#: incremental engine landed.  New runs report their speedup against it.
+PRE_OPT_TABLE2_SECONDS = 21.94
+
+#: Reduced kernel sizes for ``--quick`` (mirrors benchmarks/conftest.py).
+QUICK_SIZES: Dict[str, Dict[str, int]] = {
+    "polyn_mult": {"n": 20},
+    "2mm": {"n": 5},
+    "3mm": {"n": 5},
+    "gaussian": {"n": 8},
+    "triangular": {"n": 24},
+}
+
+#: Allowed slow-down per point before ``--check`` fails.
+REGRESSION_TOLERANCE = 0.25
+
+
+def bench_point(kernel_name: str, config, sizes: Optional[Dict[str, int]],
+                max_cycles: int = 2_000_000) -> Dict:
+    """Time one (kernel, config) point with the stat-free fast path."""
+    kernel = get_kernel(kernel_name, **(sizes or {}))
+    fn = kernel.build_ir()
+    build = compile_function(fn, config, args=kernel.args)
+    build.memory.initialize(kernel.memory_init)
+    sim = Simulator(build.circuit, max_cycles=max_cycles,
+                    collect_stats=False)
+    if build.squash_controller is not None:
+        sim.end_of_cycle_hooks.append(build.squash_controller.end_of_cycle)
+    started = time.perf_counter()
+    stats = sim.run(make_done_condition(build))
+    wall = time.perf_counter() - started
+    return {
+        "kernel": kernel_name,
+        "config": config.name,
+        "wall_s": round(wall, 4),
+        "cycles": stats.cycles,
+        "cycles_per_sec": round(stats.cycles / wall) if wall > 0 else None,
+        "propagate_calls": stats.propagate_calls,
+        "propagate_calls_per_cycle": round(
+            stats.propagate_calls / max(1, stats.cycles), 3
+        ),
+    }
+
+
+def _bench_worker(args):
+    return bench_point(*args)
+
+
+def run_bench(quick: bool = True, jobs: int = 1,
+              kernels: Optional[Sequence[str]] = None) -> Dict:
+    """Run the full grid; returns the BENCH_simulator.json payload."""
+    knames = list(kernels or PAPER_KERNELS)
+    work = [
+        (kname, cfg, QUICK_SIZES.get(kname) if quick else None)
+        for kname in knames
+        for cfg in ALL_CONFIGS
+    ]
+    started = time.perf_counter()
+    if jobs > 1 and len(work) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+            points: List[Dict] = list(pool.map(_bench_worker, work))
+    else:
+        points = [_bench_worker(w) for w in work]
+    total = time.perf_counter() - started
+    serial = round(sum(p["wall_s"] for p in points), 3)
+    return {
+        "bench": "simulator",
+        "quick": quick,
+        "jobs": jobs,
+        "total_wall_s": round(total, 3),
+        "serial_wall_s": serial,
+        "pre_opt_table2_s": PRE_OPT_TABLE2_SECONDS,
+        "points": points,
+    }
+
+
+def time_table2(quick: bool = True) -> Dict:
+    """Time a full single-process ``table2`` run (compile + simulate).
+
+    This is the exact workload of ``benchmarks/bench_table2_timing.py``
+    and therefore directly comparable to :data:`PRE_OPT_TABLE2_SECONDS`.
+    """
+    from ..eval import tables as tables_mod
+
+    original = tables_mod.get_kernel
+    if quick:
+        def sized(name, **kw):
+            merged = dict(QUICK_SIZES.get(name, {}))
+            merged.update(kw)
+            return original(name, **merged)
+
+        tables_mod.get_kernel = sized
+    try:
+        started = time.perf_counter()
+        tables_mod.table2()
+        wall = time.perf_counter() - started
+    finally:
+        tables_mod.get_kernel = original
+    return {
+        "table2_wall_s": round(wall, 3),
+        "table2_speedup_vs_pre_opt": (
+            round(PRE_OPT_TABLE2_SECONDS / wall, 2) if quick and wall > 0
+            else None
+        ),
+    }
+
+
+def check_against_baseline(result: Dict, baseline: Dict,
+                           tolerance: float = REGRESSION_TOLERANCE):
+    """Compare a fresh run to a committed baseline; returns error strings.
+
+    Cycle counts must match exactly (the engine is meant to be
+    bit-identical); per-cycle evaluation effort may not regress by more
+    than ``tolerance``.  Raw wall-clock is *not* compared — CI machines
+    vary too much — ``propagate_calls_per_cycle`` is the stable proxy.
+    """
+    errors: List[str] = []
+    base_points = {
+        (p["kernel"], p["config"]): p for p in baseline.get("points", [])
+    }
+    for point in result["points"]:
+        key = (point["kernel"], point["config"])
+        base = base_points.get(key)
+        if base is None:
+            continue
+        if point["cycles"] != base["cycles"]:
+            errors.append(
+                f"{key[0]}/{key[1]}: cycles {point['cycles']} != baseline "
+                f"{base['cycles']}"
+            )
+        limit = base["propagate_calls_per_cycle"] * (1.0 + tolerance)
+        if point["propagate_calls_per_cycle"] > limit:
+            errors.append(
+                f"{key[0]}/{key[1]}: propagate_calls/cycle "
+                f"{point['propagate_calls_per_cycle']} > "
+                f"{limit:.3f} (baseline {base['propagate_calls_per_cycle']} "
+                f"+{tolerance:.0%})"
+            )
+    return errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Time the simulator over the kernel x config grid.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced kernel sizes (CI smoke run)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the grid")
+    parser.add_argument("--out", default="BENCH_simulator.json",
+                        help="output JSON path")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a baseline JSON; non-zero "
+                        "exit on cycle mismatch or >25%% effort regression")
+    parser.add_argument("--table2", action="store_true",
+                        help="also time a full single-process table2 run "
+                        "(the pre-opt baseline's exact workload)")
+    opts = parser.parse_args(argv)
+
+    result = run_bench(quick=opts.quick, jobs=opts.jobs)
+    if opts.table2:
+        result.update(time_table2(quick=opts.quick))
+    with open(opts.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    for point in result["points"]:
+        print(
+            f"{point['kernel']:12s} {point['config']:10s} "
+            f"{point['wall_s']:8.3f}s  {point['cycles']:>8d} cyc  "
+            f"{point['cycles_per_sec']:>8d} cyc/s  "
+            f"{point['propagate_calls_per_cycle']:>8.3f} evals/cyc"
+        )
+    line = (
+        f"total {result['total_wall_s']:.2f}s "
+        f"(serial {result['serial_wall_s']:.2f}s)"
+    )
+    if result.get("table2_wall_s") is not None:
+        line += f"; table2 {result['table2_wall_s']:.2f}s"
+        if result.get("table2_speedup_vs_pre_opt") is not None:
+            line += (
+                f" = {result['table2_speedup_vs_pre_opt']:.2f}x vs pre-opt "
+                f"{PRE_OPT_TABLE2_SECONDS:.2f}s"
+            )
+    print(line + f"; wrote {opts.out}")
+    if opts.check:
+        with open(opts.check) as handle:
+            baseline = json.load(handle)
+        errors = check_against_baseline(result, baseline)
+        if errors:
+            for err in errors:
+                print("REGRESSION:", err)
+            return 1
+        print(f"no regression vs {opts.check}")
+    return 0

@@ -15,7 +15,15 @@ from .routing import Branch, ControlMerge, Merge, Mux, Select
 from .buffers import Fifo, OpaqueBuffer, TransparentBuffer, TransparentFifo
 from .arith import OP_TABLE, Operator
 from .circuit import Circuit
+from .schedule import (
+    LevelSchedule,
+    levelize,
+    strongly_connected_components,
+    token_flow_adjacency,
+    valid_dependence_edges,
+)
 from .simulator import SimulationStats, Simulator
+from .reference import ReferenceSimulator
 from .tracing import ChannelTrace
 from .visualize import to_dot
 
@@ -43,8 +51,14 @@ __all__ = [
     "Operator",
     "OP_TABLE",
     "Circuit",
+    "LevelSchedule",
+    "levelize",
+    "strongly_connected_components",
+    "token_flow_adjacency",
+    "valid_dependence_edges",
     "Simulator",
     "SimulationStats",
+    "ReferenceSimulator",
     "ChannelTrace",
     "to_dot",
 ]

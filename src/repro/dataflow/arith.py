@@ -77,6 +77,7 @@ class Operator(Component):
         self.resource_class = resource
         # Pipeline slots, index 0 = newest; only used when latency >= 1.
         self._pipe: List[Optional[Token]] = [None] * latency
+        self._in_chs = None  # bound lazily after wiring
 
     @classmethod
     def from_opcode(cls, name: str, opcode: str, width: int = 32) -> "Operator":
@@ -87,10 +88,15 @@ class Operator(Component):
     def in_port(self, i: int) -> str:
         return f"in{i}"
 
+    def _bind(self):
+        chs = [self.inputs[f"in{i}"] for i in range(self.n_inputs)]
+        self._in_chs = chs
+        self._out_ch = self.outputs["out"]
+        return chs
+
     def _inputs_valid(self):
         toks = []
-        for i in range(self.n_inputs):
-            ch = self.inputs[self.in_port(i)]
+        for ch in self._in_chs or self._bind():
             if not ch.valid:
                 return None
             toks.append(ch.data)
@@ -101,35 +107,51 @@ class Operator(Component):
         return combine(result, *toks)
 
     def propagate(self) -> None:
-        toks = self._inputs_valid()
+        ins = self._in_chs or self._bind()
+        toks = []
+        for ch in ins:
+            if not ch.valid:
+                toks = None
+                break
+            toks.append(ch.data)
+        out_ch = self._out_ch
         if self.latency == 0:
             if toks is None:
                 return
-            self.drive_out("out", self._compute(toks))
-            if self.out_ready("out"):
-                for i in range(self.n_inputs):
-                    self.drive_ready(self.in_port(i), True)
+            out_ch.valid = True
+            out_ch.data = self._compute(toks)
+            if out_ch.ready:
+                for ch in ins:
+                    ch.ready = True
             return
         # Pipelined: output from the last stage; accept when the pipe shifts.
         tail = self._pipe[-1]
         if tail is not None:
-            self.drive_out("out", tail)
-        advance = tail is None or self.out_ready("out")
-        if advance and toks is not None:
-            for i in range(self.n_inputs):
-                self.drive_ready(self.in_port(i), True)
+            out_ch.valid = True
+            out_ch.data = tail
+        if toks is not None and (tail is None or out_ch.ready):
+            for ch in ins:
+                ch.ready = True
 
-    def tick(self) -> None:
+    def tick(self):
         if self.latency == 0:
-            return
-        tail = self._pipe[-1]
-        advance = tail is None or self.outputs["out"].fires
+            return False
+        ins = self._in_chs or self._bind()
+        out_ch = self._out_ch
+        pipe = self._pipe
+        tail = pipe[-1]
+        advance = tail is None or (out_ch.valid and out_ch.ready)
         if not advance:
-            return
+            return False
         toks = self._inputs_valid()
-        accepted = toks is not None and self.inputs[self.in_port(0)].fires
+        first = ins[0]
+        accepted = toks is not None and first.valid and first.ready
         new_head = self._compute(toks) if accepted else None
-        self._pipe = [new_head] + self._pipe[:-1]
+        # Only the tail slot feeds propagate, but any occupied slot moving
+        # is a state change that will reach it; report them all.
+        changed = accepted or any(t is not None for t in pipe)
+        self._pipe = [new_head] + pipe[:-1]
+        return changed
 
     def flush(self, domain: int, min_iter: int) -> None:
         self._pipe = [

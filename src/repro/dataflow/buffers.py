@@ -26,24 +26,41 @@ class OpaqueBuffer(Component):
     """One-slot opaque elastic buffer (OEHB)."""
 
     resource_class = "oehb"
+    observes_input_valid = False  # propagate drives from the slot only
 
     def __init__(self, name: str, width: int = 32):
         super().__init__(name)
         self.width = width
         self._slot: Optional[Token] = None
+        self._out_ch = None  # bound lazily after wiring
+
+    def _bind(self):
+        self._out_ch = self.outputs["out"]
+        self._in_ch = self.inputs["in"]
+        return self._out_ch
 
     def propagate(self) -> None:
-        if self._slot is not None:
-            self.drive_out("out", self._slot)
-        if self._slot is None or self.out_ready("out"):
-            self.drive_ready("in", True)
+        out_ch = self._out_ch or self._bind()
+        slot = self._slot
+        if slot is None:
+            self._in_ch.ready = True
+            return
+        out_ch.valid = True
+        out_ch.data = slot
+        if out_ch.ready:
+            self._in_ch.ready = True
 
-    def tick(self) -> None:
-        if self._slot is not None and self.outputs["out"].fires:
+    def tick(self):
+        out_ch = self._out_ch or self._bind()
+        changed = False
+        if self._slot is not None and out_ch.valid and out_ch.ready:
             self._slot = None
-        in_ch = self.inputs["in"]
-        if in_ch.fires:
+            changed = True
+        in_ch = self._in_ch
+        if in_ch.valid and in_ch.ready:
             self._slot = in_ch.data
+            changed = True
+        return changed
 
     def flush(self, domain: int, min_iter: int) -> None:
         if self._slot is not None and self._slot.is_squashed_by(domain, min_iter):
@@ -69,28 +86,44 @@ class TransparentBuffer(Component):
     """
 
     resource_class = "tehb"
+    observes_output_ready = False  # in.ready depends on the slot only
 
     def __init__(self, name: str, width: int = 32):
         super().__init__(name)
         self.width = width
         self._slot: Optional[Token] = None
+        self._out_ch = None  # bound lazily after wiring
+
+    def _bind(self):
+        self._out_ch = self.outputs["out"]
+        self._in_ch = self.inputs["in"]
+        return self._out_ch
 
     def propagate(self) -> None:
-        if self._slot is not None:
-            self.drive_out("out", self._slot)
-        elif self.in_valid("in"):
-            self.drive_out("out", self.in_token("in"))
-        if self._slot is None:
-            self.drive_ready("in", True)
+        out_ch = self._out_ch or self._bind()
+        slot = self._slot
+        if slot is not None:
+            out_ch.valid = True
+            out_ch.data = slot
+            return
+        in_ch = self._in_ch
+        if in_ch.valid:
+            out_ch.valid = True
+            out_ch.data = in_ch.data
+        in_ch.ready = True
 
-    def tick(self) -> None:
-        out_fired = self.outputs["out"].fires
-        in_ch = self.inputs["in"]
+    def tick(self):
+        out_ch = self._out_ch or self._bind()
+        out_fired = out_ch.valid and out_ch.ready
+        in_ch = self._in_ch
         if self._slot is None:
-            if in_ch.fires and not out_fired:
+            if in_ch.valid and in_ch.ready and not out_fired:
                 self._slot = in_ch.data
+                return True
         elif out_fired:
             self._slot = None
+            return True
+        return False
 
     def flush(self, domain: int, min_iter: int) -> None:
         if self._slot is not None and self._slot.is_squashed_by(domain, min_iter):
@@ -117,6 +150,7 @@ class TransparentFifo(Component):
     """
 
     resource_class = "fifo"
+    observes_output_ready = False  # in.ready depends on occupancy only
 
     def __init__(self, name: str, depth: int, width: int = 32):
         super().__init__(name)
@@ -125,25 +159,41 @@ class TransparentFifo(Component):
         self.depth = depth
         self.width = width
         self._items: Deque[Token] = deque()
+        self._out_ch = None  # bound lazily after wiring
+
+    def _bind(self):
+        self._out_ch = self.outputs["out"]
+        self._in_ch = self.inputs["in"]
+        return self._out_ch
 
     def propagate(self) -> None:
-        if self._items:
-            self.drive_out("out", self._items[0])
-        elif self.in_valid("in"):
-            self.drive_out("out", self.in_token("in"))
-        if len(self._items) < self.depth:
-            self.drive_ready("in", True)
+        out_ch = self._out_ch or self._bind()
+        items = self._items
+        in_ch = self._in_ch
+        if items:
+            out_ch.valid = True
+            out_ch.data = items[0]
+        elif in_ch.valid:
+            out_ch.valid = True
+            out_ch.data = in_ch.data
+        if len(items) < self.depth:
+            in_ch.ready = True
 
-    def tick(self) -> None:
-        out_fired = self.outputs["out"].fires
-        in_fired = self.inputs["in"].fires
+    def tick(self):
+        out_ch = self._out_ch or self._bind()
+        out_fired = out_ch.valid and out_ch.ready
+        in_ch = self._in_ch
+        in_fired = in_ch.valid and in_ch.ready
         if self._items:
             if out_fired:
                 self._items.popleft()
             if in_fired:
-                self._items.append(self.inputs["in"].data)
-        elif in_fired and not out_fired:
-            self._items.append(self.inputs["in"].data)
+                self._items.append(in_ch.data)
+            return out_fired or in_fired
+        if in_fired and not out_fired:
+            self._items.append(in_ch.data)
+            return True
+        return False
 
     def flush(self, domain: int, min_iter: int) -> None:
         self._items = deque(
@@ -163,6 +213,7 @@ class Fifo(Component):
     """Depth-N opaque FIFO with single-cycle minimum latency."""
 
     resource_class = "fifo"
+    observes_input_valid = False  # propagate drives from stored items only
 
     def __init__(self, name: str, depth: int, width: int = 32):
         super().__init__(name)
@@ -171,19 +222,33 @@ class Fifo(Component):
         self.depth = depth
         self.width = width
         self._items: Deque[Token] = deque()
+        self._out_ch = None  # bound lazily after wiring
+
+    def _bind(self):
+        self._out_ch = self.outputs["out"]
+        self._in_ch = self.inputs["in"]
+        return self._out_ch
 
     def propagate(self) -> None:
-        if self._items:
-            self.drive_out("out", self._items[0])
-        if len(self._items) < self.depth or self.out_ready("out"):
-            self.drive_ready("in", True)
+        out_ch = self._out_ch or self._bind()
+        items = self._items
+        if items:
+            out_ch.valid = True
+            out_ch.data = items[0]
+        if len(items) < self.depth or out_ch.ready:
+            self._in_ch.ready = True
 
-    def tick(self) -> None:
-        if self._items and self.outputs["out"].fires:
+    def tick(self):
+        out_ch = self._out_ch or self._bind()
+        changed = False
+        if self._items and out_ch.valid and out_ch.ready:
             self._items.popleft()
-        in_ch = self.inputs["in"]
-        if in_ch.fires:
+            changed = True
+        in_ch = self._in_ch
+        if in_ch.valid and in_ch.ready:
             self._items.append(in_ch.data)
+            changed = True
+        return changed
 
     def flush(self, domain: int, min_iter: int) -> None:
         self._items = deque(

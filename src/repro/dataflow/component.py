@@ -38,6 +38,37 @@ from .token import Token
 class Component:
     """Base class for every elastic dataflow unit."""
 
+    #: Scheduling contract (see :mod:`repro.dataflow.schedule`): True when
+    #: :meth:`propagate` reads the ``valid``/``data`` of the component's own
+    #: input channels.  Components that drive all their signals from
+    #: sequential state (opaque buffers, sinks) set this to False, which
+    #: removes them from the combinational valid network, cuts loop
+    #: back-edges out of the levelized schedule, and tells the simulator a
+    #: valid/data change on an input channel can never alter this
+    #: component's outputs (so it is never re-woken by one).  A propagate
+    #: may only ever read its *own* ports' signals; the simulator's change
+    #: propagation relies on it.
+    observes_input_valid: bool = True
+
+    #: True when :meth:`propagate` can carry an input channel's
+    #: ``valid``/``data`` through to an *output* channel within the same
+    #: cycle.  Components that read input valids only to compute grants /
+    #: input readies, while all output valids come from sequential state
+    #: (memory controllers, LSQs), set this to False: they are woken by
+    #: input changes like any observer, but the valid wave terminates at
+    #: them, which removes them — and the loops they sit on — from the
+    #: levelized valid network.
+    forwards_valid: bool = True
+
+    #: Dual of :attr:`observes_input_valid` for the backward ready wave:
+    #: True when :meth:`propagate` reads the ``ready`` of the component's
+    #: own output channels.  Components whose input-ready depends only on
+    #: internal occupancy (transparent buffers/FIFOs, sources) set this to
+    #: False, which cuts the combinational ready chain exactly where the
+    #: hardware's TEHBs cut it and stops the simulator from re-evaluating
+    #: them when a downstream ready rises.
+    observes_output_ready: bool = True
+
     def __init__(self, name: str):
         self.name = name
         self.inputs: Dict[str, Channel] = {}
@@ -103,8 +134,16 @@ class Component:
     def propagate(self) -> None:
         """Combinational evaluation; override."""
 
-    def tick(self) -> None:
-        """Clock-edge state update; override when stateful."""
+    def tick(self):
+        """Clock-edge state update; override when stateful.
+
+        Return ``False`` when the tick *definitely* left no state behind
+        that could alter :meth:`propagate`'s outputs; any other return
+        (``None``/``True``) makes the simulator's incremental engine
+        re-evaluate the component next cycle.  ``None`` — the implicit
+        return of existing overrides — is therefore always safe, just
+        slower.
+        """
 
     def flush(self, domain: int, min_iter: int) -> None:
         """Drop internal tokens with ``tags[domain] >= min_iter``; override."""

@@ -29,6 +29,7 @@ class Entry(Component):
     """
 
     resource_class = "entry"
+    observes_output_ready = False  # emits unconditionally until consumed
 
     def __init__(self, name: str, value: Any = None):
         super().__init__(name)
@@ -39,9 +40,11 @@ class Entry(Component):
         if not self._emitted:
             self.drive_out("out", Token(self.value))
 
-    def tick(self) -> None:
+    def tick(self):
         if not self._emitted and self.out_fires("out"):
             self._emitted = True
+            return True
+        return False
 
     def reset(self) -> None:
         self._emitted = False
@@ -51,6 +54,7 @@ class Source(Component):
     """Endless stream of identical tokens (test helper)."""
 
     resource_class = "source"
+    observes_output_ready = False  # offers unconditionally
 
     def __init__(self, name: str, value: Any = None, limit: Optional[int] = None):
         super().__init__(name)
@@ -62,15 +66,19 @@ class Source(Component):
         if self.limit is None or self.emitted < self.limit:
             self.drive_out("out", Token(self.value))
 
-    def tick(self) -> None:
+    def tick(self):
         if self.out_fires("out"):
             self.emitted += 1
+            # Only a limited source's outputs depend on the count.
+            return self.limit is not None
+        return False
 
 
 class Sink(Component):
     """Always-ready consumer that records received tokens."""
 
     resource_class = "sink"
+    observes_input_valid = False  # unconditionally ready
 
     def __init__(self, name: str, record: bool = True):
         super().__init__(name)
@@ -81,12 +89,13 @@ class Sink(Component):
     def propagate(self) -> None:
         self.drive_ready("in", True)
 
-    def tick(self) -> None:
+    def tick(self):
         ch = self.inputs["in"]
         if ch.fires:
             self.count += 1
             if self.record:
                 self.received.append(ch.data)
+        return False  # propagate is unconditionally ready regardless
 
     def flush(self, domain: int, min_iter: int) -> None:
         kept = [t for t in self.received if not t.is_squashed_by(domain, min_iter)]
@@ -136,31 +145,50 @@ class Fork(Component):
         self.n_outputs = n_outputs
         self.width = width
         self._done = [False] * n_outputs
+        self._out_chs: Optional[List] = None  # bound lazily after wiring
 
     def out_port(self, i: int) -> str:
         return f"out{i}"
 
-    def propagate(self) -> None:
-        iv = self.in_valid("in")
-        tok = self.in_token("in")
-        all_consumed = True
-        for i in range(self.n_outputs):
-            port = self.out_port(i)
-            if iv and not self._done[i]:
-                self.drive_out(port, tok)
-            if not (self._done[i] or self.outputs[port].ready):
-                all_consumed = False
-        if iv and all_consumed:
-            self.drive_ready("in", True)
+    def _bind(self):
+        chs = [self.outputs[f"out{i}"] for i in range(self.n_outputs)]
+        self._out_chs = chs
+        return chs
 
-    def tick(self) -> None:
+    def propagate(self) -> None:
+        in_ch = self.inputs["in"]
+        if not in_ch.valid:
+            return
+        outs = self._out_chs or self._bind()
+        tok = in_ch.data
+        all_consumed = True
+        for ch, done in zip(outs, self._done):
+            if done:
+                continue
+            ch.valid = True
+            ch.data = tok
+            if not ch.ready:
+                all_consumed = False
+        if all_consumed:
+            in_ch.ready = True
+
+    def tick(self):
         ch = self.inputs["in"]
-        if ch.fires:
-            self._done = [False] * self.n_outputs
-        elif ch.valid:
-            for i in range(self.n_outputs):
-                if self.outputs[self.out_port(i)].fires:
-                    self._done[i] = True
+        if not ch.valid:
+            return False
+        if ch.ready:
+            if any(self._done):
+                self._done = [False] * self.n_outputs
+                return True
+            return False
+        outs = self._out_chs or self._bind()
+        done = self._done
+        changed = False
+        for i, out_ch in enumerate(outs):
+            if out_ch.valid and out_ch.ready and not done[i]:
+                done[i] = True
+                changed = True
+        return changed
 
     def flush(self, domain: int, min_iter: int) -> None:
         # A held token lives in the producer-side channel; the circuit-level
@@ -190,21 +218,29 @@ class Join(Component):
         if n_inputs < 1:
             raise ValueError("join needs at least one input")
         self.n_inputs = n_inputs
+        self._in_chs: Optional[List] = None  # bound lazily after wiring
 
     def in_port(self, i: int) -> str:
         return f"in{i}"
 
+    def _bind(self):
+        chs = [self.inputs[f"in{i}"] for i in range(self.n_inputs)]
+        self._in_chs = chs
+        return chs
+
     def propagate(self) -> None:
+        ins = self._in_chs or self._bind()
         toks = []
-        for i in range(self.n_inputs):
-            ch = self.inputs[self.in_port(i)]
+        for ch in ins:
             if not ch.valid:
                 return
             toks.append(ch.data)
-        self.drive_out("out", combine(toks[0].value, *toks))
-        if self.out_ready("out"):
-            for i in range(self.n_inputs):
-                self.drive_ready(self.in_port(i), True)
+        out_ch = self.outputs["out"]
+        out_ch.valid = True
+        out_ch.data = combine(toks[0].value, *toks)
+        if out_ch.ready:
+            for ch in ins:
+                ch.ready = True
 
     @property
     def resource_params(self):

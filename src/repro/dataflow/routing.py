@@ -105,24 +105,26 @@ class ControlMerge(Component):
         if out_ok and idx_ok:
             self.drive_ready(self.in_port(w), True)
 
-    def tick(self) -> None:
+    def tick(self):
         w = self._winner()
         if w is None:
-            return
+            return False
         if self.inputs[self.in_port(w)].fires:
+            changed = self._done_out or self._done_index or self._locked is not None
             self._done_out = False
             self._done_index = False
             self._locked = None
-            return
+            return changed
         fired = False
-        if self.outputs["out"].fires:
+        if self.outputs["out"].fires and not self._done_out:
             self._done_out = True
             fired = True
-        if self.outputs["index"].fires:
+        if self.outputs["index"].fires and not self._done_index:
             self._done_index = True
             fired = True
         if fired:
             self._locked = w
+        return fired
 
     def flush(self, domain: int, min_iter: int) -> None:
         w = self._winner()
@@ -147,22 +149,34 @@ class Mux(Component):
         super().__init__(name)
         self.n_inputs = n_inputs
         self.width = width
+        self._in_chs = None  # bound lazily after wiring
 
     def in_port(self, i: int) -> str:
         return f"in{i}"
 
+    def _bind(self):
+        chs = [self.inputs[f"in{i}"] for i in range(self.n_inputs)]
+        self._in_chs = chs
+        self._sel_ch = self.inputs["select"]
+        self._out_ch = self.outputs["out"]
+        return chs
+
     def propagate(self) -> None:
-        sel_ch = self.inputs["select"]
+        ins = self._in_chs or self._bind()
+        sel_ch = self._sel_ch
         if not sel_ch.valid:
             return
-        w = int(sel_ch.data.value)
-        data_ch = self.inputs[self.in_port(w)]
+        sel_tok = sel_ch.data
+        data_ch = ins[int(sel_tok.value)]
         if not data_ch.valid:
             return
-        self.drive_out("out", combine(data_ch.data.value, data_ch.data, sel_ch.data))
-        if self.out_ready("out"):
-            self.drive_ready("select", True)
-            self.drive_ready(self.in_port(w), True)
+        out_ch = self._out_ch
+        data_tok = data_ch.data
+        out_ch.valid = True
+        out_ch.data = combine(data_tok.value, data_tok, sel_tok)
+        if out_ch.ready:
+            sel_ch.ready = True
+            data_ch.ready = True
 
     @property
     def resource_params(self):
@@ -177,17 +191,28 @@ class Branch(Component):
     def __init__(self, name: str, width: int = 32):
         super().__init__(name)
         self.width = width
+        self._cond_ch = None  # bound lazily after wiring
+
+    def _bind(self):
+        self._cond_ch = self.inputs["cond"]
+        self._data_ch = self.inputs["data"]
+        self._true_ch = self.outputs["true"]
+        self._false_ch = self.outputs["false"]
+        return self._cond_ch
 
     def propagate(self) -> None:
-        cond_ch = self.inputs["cond"]
-        data_ch = self.inputs["data"]
+        cond_ch = self._cond_ch or self._bind()
+        data_ch = self._data_ch
         if not (cond_ch.valid and data_ch.valid):
             return
-        port = "true" if cond_ch.data.value else "false"
-        self.drive_out(port, combine(data_ch.data.value, data_ch.data, cond_ch.data))
-        if self.out_ready(port):
-            self.drive_ready("cond", True)
-            self.drive_ready("data", True)
+        cond_tok = cond_ch.data
+        data_tok = data_ch.data
+        out_ch = self._true_ch if cond_tok.value else self._false_ch
+        out_ch.valid = True
+        out_ch.data = combine(data_tok.value, data_tok, cond_tok)
+        if out_ch.ready:
+            cond_ch.ready = True
+            data_ch.ready = True
 
     @property
     def resource_params(self):

@@ -5,12 +5,28 @@ Each cycle has two phases:
 1. **Combinational fixpoint** — channel signals are reset, then components'
    :meth:`propagate` methods run until no signal changes.  Because all
    handshake logic is monotone (valid/ready only rise within a cycle), the
-   iteration reaches the unique least fixpoint; the evaluation is
-   event-driven (only components whose surrounding signals changed are
-   re-evaluated) for speed.
+   iteration reaches the unique least fixpoint regardless of evaluation
+   order.  The engine exploits that freedom: components are evaluated once
+   in a **statically levelized order** (topological over the valid
+   network, computed by :mod:`repro.dataflow.schedule` at construction),
+   which settles the forward valid/data wave in a single sweep; the
+   backward ready wave and any cyclic residue are finished by an
+   array-based dirty worklist that re-evaluates exactly the components
+   whose watched signals changed.  Signal state is *slotted*: every
+   channel owns an integer slot in flat last-seen arrays, so change
+   detection is list indexing instead of per-round dict/tuple snapshots.
 
-2. **Clock edge** — statistics are recorded and every component's
-   :meth:`tick` commits sequential state.
+2. **Clock edge** — statistics are recorded (skipped entirely when the
+   simulator was built with ``collect_stats=False``) and every stateful
+   component's :meth:`tick` commits sequential state.  The components that
+   actually override :meth:`tick`, and those whose :attr:`is_busy` can
+   ever be true, are cached at construction so the per-cycle loops touch
+   no dead weight.
+
+The fixpoint this engine reaches is bit-identical to the seed worklist
+algorithm, which is preserved as
+:class:`repro.dataflow.reference.ReferenceSimulator` and pinned by the
+equivalence suite in ``tests/dataflow/test_engine_equivalence.py``.
 
 The simulator also provides the deadlock detector used to demonstrate the
 paper's Fig. 6 scenario: if no channel fires and no component reports
@@ -22,12 +38,14 @@ of a premature-queue deadlock.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Dict, List
 
 from ..errors import ConvergenceError, DeadlockError, SimulationError
-from .channel import Channel
-from .circuit import Circuit
+from .arith import Operator
 from .component import Component
+from .circuit import Circuit
+from .schedule import levelize, ready_network_acyclic
 
 
 class SimulationStats:
@@ -47,6 +65,13 @@ class SimulationStats:
         return f"SimulationStats({self.as_dict()})"
 
 
+def _overrides(comp: Component, name: str) -> bool:
+    """True when ``comp`` overrides ``Component.<name>`` (class or instance)."""
+    if name in comp.__dict__:  # instance-level monkey patch (tests do this)
+        return True
+    return getattr(type(comp), name) is not getattr(Component, name)
+
+
 class Simulator:
     """Drives a :class:`Circuit` cycle by cycle."""
 
@@ -57,81 +82,336 @@ class Simulator:
         deadlock_window: int = 256,
         fixpoint_cap: int = 10_000,
         trace=None,
+        collect_stats: bool = True,
     ):
         self.circuit = circuit
         self.max_cycles = max_cycles
         self.deadlock_window = deadlock_window
         self.fixpoint_cap = fixpoint_cap
         self.trace = trace
+        self.collect_stats = collect_stats
         self.stats = SimulationStats()
         self._quiet_cycles = 0
         #: callables invoked after every clock edge (e.g. squash execution)
         self.end_of_cycle_hooks: List[Callable[[], None]] = []
         circuit.validate()
-        # Event-driven bookkeeping: which components observe each channel,
-        # and which channels each component can drive.
-        self._watchers: Dict[Channel, List[Component]] = {}
-        self._adjacent: Dict[Component, List[Channel]] = {
-            c: [] for c in circuit.components
-        }
-        for chan in circuit.channels:
-            watchers = []
-            if chan.consumer is not None:
-                watchers.append(chan.consumer)
-                self._adjacent[chan.consumer].append(chan)
-            if chan.producer is not None:
-                watchers.append(chan.producer)
-                self._adjacent[chan.producer].append(chan)
-            self._watchers[chan] = watchers
+        self._build_schedule()
+
+    # ------------------------------------------------------------------
+    # Static schedule construction
+    # ------------------------------------------------------------------
+    def _build_schedule(self) -> None:
+        circuit = self.circuit
+        self._channels = list(circuit.channels)
+        self.schedule = levelize(circuit)
+        order = self.schedule.order
+        self._order = order
+        pos_of = {id(c): i for i, c in enumerate(order)}
+
+        # Slotted signal state: channel i owns slot i of the flat last-seen
+        # arrays below.  A component's evaluation can only change signals it
+        # drives — valid/data on its outputs, ready on its inputs — so the
+        # per-component watch lists pair each driven channel with the slot
+        # to diff against and the position of the single component that
+        # reads the signal (the consumer for valid/data, the producer for
+        # ready).  A reader that declares it never looks at the signal
+        # (``observes_input_valid`` / ``observes_output_ready`` False) gets
+        # no wake target at all: its outputs cannot change, so re-running
+        # it would be pure waste.  Entries are split statically into *wake*
+        # lists (diff against last-seen, enqueue the reader on change) and
+        # *record* lists (unconditional last-seen update, no compare) —
+        # during the levelized sweep a reader positioned later needs no
+        # wake because the sweep has not reached it yet.
+        slot_of = {id(ch): s for s, ch in enumerate(self._channels)}
+        sweep_plan = []
+        drain_plan = []
+        props = []
+        for pos, comp in enumerate(order):
+            ow, orc, iw, irc = [], [], [], []  # sweep-phase lists
+            dow, dorc, diw, dirc = [], [], [], []  # drain-phase lists
+            for ch in comp.outputs.values():
+                s = slot_of[id(ch)]
+                cons = ch.consumer
+                if cons is not None and cons.observes_input_valid:
+                    tgt = pos_of[id(cons)]
+                    dow.append((ch, s, tgt))
+                    if tgt <= pos:
+                        ow.append((ch, s, tgt))
+                    else:
+                        orc.append((ch, s))
+                else:
+                    dorc.append((ch, s))
+                    orc.append((ch, s))
+            for ch in comp.inputs.values():
+                s = slot_of[id(ch)]
+                prod = ch.producer
+                if prod is not None and prod.observes_output_ready:
+                    tgt = pos_of[id(prod)]
+                    diw.append((ch, s, tgt))
+                    if tgt <= pos:
+                        iw.append((ch, s, tgt))
+                    else:
+                        irc.append((ch, s))
+                else:
+                    dirc.append((ch, s))
+                    irc.append((ch, s))
+            # The component itself goes into the plan (not a prebound
+            # method): tests swap instance-level propagate overrides in
+            # and out after the Simulator is built.
+            sweep_plan.append(
+                (comp, tuple(ow), tuple(orc), tuple(iw), tuple(irc))
+            )
+            drain_plan.append(
+                (tuple(dow), tuple(dorc), tuple(diw), tuple(dirc))
+            )
+        self._sweep_plan = sweep_plan
+        self._drain_plan = drain_plan
+        # Signals each component drives, for the incremental engine's
+        # clear-before-eval (outputs' valid/data, inputs' ready).
+        self._driven = [
+            (tuple(c.outputs.values()), tuple(c.inputs.values()))
+            for c in order
+        ]
+
+        n = len(self._channels)
+        self._last_valid = bytearray(n)
+        self._last_ready = bytearray(n)
+        self._last_data: List = [None] * n
+        self._zeros = bytes(n)
+        self._nones: List = [None] * n
+        self._queued = bytearray(len(order))
+        self._worklist = deque()
+
+        # Per-cycle loops only visit components that can do anything there.
+        comps = circuit.components
+        self._tick_comps = [
+            c
+            for c in comps
+            if _overrides(c, "tick")
+            and not (
+                isinstance(c, Operator)
+                and "tick" not in c.__dict__
+                and c.latency == 0
+            )
+        ]
+        self._busy_comps = [c for c in comps if _overrides(c, "is_busy")]
+        self._tick_plan = [(c, pos_of[id(c)]) for c in self._tick_comps]
+
+        # Incremental (cross-cycle event-driven) mode: settled signals
+        # persist between cycles and only components whose watched inputs
+        # or internal state changed are re-evaluated.  Chaotic relaxation
+        # from last cycle's fixpoint is only guaranteed to reach the same
+        # fixpoint as a from-reset evaluation when the per-signal
+        # dependence graph is acyclic: the valid network must levelize
+        # without residue and the ready network must be cut by TEHBs
+        # (``ready_network_acyclic``).  Stats mode keeps the classic
+        # engine — tests that monkey-patch propagate mid-run rely on
+        # every-cycle re-evaluation.
+        self._use_incremental = (
+            not self.collect_stats
+            and not self.schedule.cyclic
+            and ready_network_acyclic(circuit)
+        )
+        self._all_dirty = True
 
     # ------------------------------------------------------------------
     # One cycle
     # ------------------------------------------------------------------
     def _fixpoint(self) -> None:
-        comps = self.circuit.components
-        channels = self.circuit.channels
-        for chan in channels:
-            chan.reset_cycle()
-        pending = dict.fromkeys(comps)  # ordered set of components to evaluate
-        rounds = 0
-        while pending:
-            rounds += 1
-            if rounds > self.fixpoint_cap:
+        channels = self._channels
+        lv = self._last_valid
+        lr = self._last_ready
+        ld = self._last_data
+        for ch in channels:
+            ch.valid = False
+            ch.ready = False
+            ch.data = None
+        lv[:] = self._zeros
+        lr[:] = self._zeros
+        ld[:] = self._nones
+
+        queued = self._queued
+        worklist = self._worklist
+        calls = len(self._sweep_plan)
+
+        # Phase 1: one levelized sweep.  The topological order means a
+        # changed signal whose reader comes later needs no bookkeeping —
+        # only readers already behind us go on the worklist (the wake
+        # lists), everything else just records its last-seen value.
+        for comp, ow, orc, iw, irc in self._sweep_plan:
+            comp.propagate()
+            for ch, s, tgt in ow:
+                v = ch.valid
+                d = ch.data
+                if v != lv[s] or (d is not ld[s] and d != ld[s]):
+                    lv[s] = v
+                    ld[s] = d
+                    if not queued[tgt]:
+                        queued[tgt] = 1
+                        worklist.append(tgt)
+            for ch, s in orc:
+                lv[s] = ch.valid
+                ld[s] = ch.data
+            for ch, s, tgt in iw:
+                r = ch.ready
+                if r != lr[s]:
+                    lr[s] = r
+                    if not queued[tgt]:
+                        queued[tgt] = 1
+                        worklist.append(tgt)
+            for ch, s in irc:
+                lr[s] = ch.ready
+
+        # Phase 2: drain the dirty worklist (backward ready chains and the
+        # cyclic residue).  Monotonicity bounds the number of rises, but a
+        # buggy non-monotone component could oscillate — cap the drain.
+        order = self._order
+        drain_plan = self._drain_plan
+        cap = max(self.fixpoint_cap, 4 * calls)
+        drained = 0
+        while worklist:
+            drained += 1
+            if drained > cap:
+                self.stats.propagate_calls += calls + drained
                 raise ConvergenceError(
-                    f"{self.circuit.name}: combinational fixpoint did not settle "
-                    f"within {self.fixpoint_cap} rounds at cycle {self.stats.cycles}"
+                    f"{self.circuit.name}: combinational fixpoint did not "
+                    f"settle within {cap} re-evaluations at cycle "
+                    f"{self.stats.cycles}"
                 )
-            batch = list(pending)
-            pending.clear()
-            # Snapshot only channels the batch can drive, evaluate, then
-            # wake the watchers of every changed channel.
-            touched: Dict[Channel, tuple] = {}
-            for comp in batch:
-                for chan in self._adjacent[comp]:
-                    if chan not in touched:
-                        touched[chan] = (chan.valid, chan.ready, chan.data)
-            for comp in batch:
-                comp.propagate()
-                self.stats.propagate_calls += 1
-            for chan, prev in touched.items():
-                if (chan.valid, chan.ready, chan.data) != prev:
-                    for watcher in self._watchers[chan]:
-                        pending[watcher] = None
+            pos = worklist.popleft()
+            queued[pos] = 0
+            order[pos].propagate()
+            dow, dorc, diw, dirc = drain_plan[pos]
+            for ch, s, tgt in dow:
+                v = ch.valid
+                d = ch.data
+                if v != lv[s] or (d is not ld[s] and d != ld[s]):
+                    lv[s] = v
+                    ld[s] = d
+                    if not queued[tgt]:
+                        queued[tgt] = 1
+                        worklist.append(tgt)
+            for ch, s in dorc:
+                lv[s] = ch.valid
+                ld[s] = ch.data
+            for ch, s, tgt in diw:
+                r = ch.ready
+                if r != lr[s]:
+                    lr[s] = r
+                    if not queued[tgt]:
+                        queued[tgt] = 1
+                        worklist.append(tgt)
+            for ch, s in dirc:
+                lr[s] = ch.ready
+        self.stats.propagate_calls += calls + drained
+
+    def _fixpoint_incremental(self) -> None:
+        """Settle the cycle starting from last cycle's fixpoint.
+
+        No reset: settled signals persist and the worklist was seeded at
+        the previous clock edge with the components whose tick changed
+        state.  Each evaluation *clears* the component's driven signals
+        first (so dropped valids/readys actually fall), re-propagates,
+        and wakes the readers of whatever changed.  Sound only under the
+        acyclicity conditions checked at construction (see
+        ``_use_incremental``).
+        """
+        if self._all_dirty:
+            # Cold start, or an end-of-cycle hook (squash) mutated circuit
+            # state behind the engine's back: one full from-reset sweep.
+            # It also drains any tick-seeded worklist entries.
+            self._all_dirty = False
+            self._fixpoint()
+            return
+        lv = self._last_valid
+        lr = self._last_ready
+        ld = self._last_data
+        queued = self._queued
+        worklist = self._worklist
+        order = self._order
+        drain_plan = self._drain_plan
+        driven = self._driven
+        cap = max(self.fixpoint_cap, 4 * len(order))
+        drained = 0
+        while worklist:
+            drained += 1
+            if drained > cap:
+                self.stats.propagate_calls += drained
+                raise ConvergenceError(
+                    f"{self.circuit.name}: combinational fixpoint did not "
+                    f"settle within {cap} re-evaluations at cycle "
+                    f"{self.stats.cycles}"
+                )
+            pos = worklist.popleft()
+            queued[pos] = 0
+            outs, ins = driven[pos]
+            for ch in outs:
+                ch.valid = False
+                ch.data = None
+            for ch in ins:
+                ch.ready = False
+            order[pos].propagate()
+            dow, dorc, diw, dirc = drain_plan[pos]
+            for ch, s, tgt in dow:
+                v = ch.valid
+                d = ch.data
+                if v != lv[s] or (d is not ld[s] and d != ld[s]):
+                    lv[s] = v
+                    ld[s] = d
+                    if not queued[tgt]:
+                        queued[tgt] = 1
+                        worklist.append(tgt)
+            for ch, s in dorc:
+                lv[s] = ch.valid
+                ld[s] = ch.data
+            for ch, s, tgt in diw:
+                r = ch.ready
+                if r != lr[s]:
+                    lr[s] = r
+                    if not queued[tgt]:
+                        queued[tgt] = 1
+                        worklist.append(tgt)
+            for ch, s in dirc:
+                lr[s] = ch.ready
+        self.stats.propagate_calls += drained
 
     def step(self) -> int:
         """Simulate one cycle; returns the number of channel transfers."""
-        self._fixpoint()
+        incremental = self._use_incremental
+        if incremental:
+            self._fixpoint_incremental()
+        else:
+            self._fixpoint()
         fired = 0
-        for chan in self.circuit.channels:
-            chan.record_stats()
-            if chan.fires:
-                fired += 1
+        if self.collect_stats:
+            for chan in self._channels:
+                chan.record_stats()
+                if chan.valid and chan.ready:
+                    fired += 1
+        else:
+            # The last-seen arrays mirror the settled signals: count fires
+            # without touching a single Channel object (1-valued bytes).
+            fired = bin(
+                int.from_bytes(bytes(self._last_valid), "big")
+                & int.from_bytes(bytes(self._last_ready), "big")
+            ).count("1")
         if self.trace is not None:
             self.trace.capture(self.circuit, self.stats.cycles)
-        for comp in self.circuit.components:
-            comp.tick()
-        for hook in self.end_of_cycle_hooks:
-            hook()
+        if incremental:
+            queued = self._queued
+            worklist = self._worklist
+            for comp, pos in self._tick_plan:
+                if comp.tick() is not False and not queued[pos]:
+                    queued[pos] = 1
+                    worklist.append(pos)
+            for hook in self.end_of_cycle_hooks:
+                if hook():
+                    self._all_dirty = True
+        else:
+            for comp in self._tick_comps:
+                comp.tick()
+            for hook in self.end_of_cycle_hooks:
+                hook()
         self.stats.cycles += 1
         self.stats.transfers += fired
         return fired
@@ -149,7 +429,7 @@ class Simulator:
                     "without completing"
                 )
             fired = self.step()
-            busy = fired > 0 or any(c.is_busy for c in self.circuit.components)
+            busy = fired > 0 or any(c.is_busy for c in self._busy_comps)
             if busy:
                 self._quiet_cycles = 0
             else:

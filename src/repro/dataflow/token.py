@@ -77,16 +77,28 @@ def merge_tags(tokens: Iterable[Token]) -> Dict[int, int]:
     """Max-merge the tags of ``tokens`` (union of domains, max iteration).
 
     Used by every multi-input component so that derived values inherit the
-    speculation of all their sources.
+    speculation of all their sources.  When at most one source carries tags
+    — the overwhelmingly common case on this hot path — its dict is
+    returned as-is; that aliasing is safe because tokens are immutable
+    (:meth:`Token.with_tag` / :meth:`Token.with_value` always copy).
     """
-    merged: Dict[int, int] = {}
+    merged: Optional[Dict[int, int]] = None
+    owned = False
     for tok in tokens:
-        if tok is None:
+        if tok is None or not tok.tags:
             continue
-        for dom, it in tok.tags.items():
-            if merged.get(dom, -1) < it:
-                merged[dom] = it
-    return merged
+        tags = tok.tags
+        if merged is None:
+            merged = tags
+        elif tags is not merged:
+            if not owned:
+                merged = dict(merged)
+                owned = True
+            get = merged.get
+            for dom, it in tags.items():
+                if get(dom, -1) < it:
+                    merged[dom] = it
+    return {} if merged is None else merged
 
 
 def combine(value: Any, *sources: Token) -> Token:

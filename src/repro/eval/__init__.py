@@ -9,7 +9,7 @@ from .configs import (
     PREVV64,
     prevv_with_depth,
 )
-from .runner import RunResult, make_done_condition, run_kernel
+from .runner import RunResult, make_done_condition, run_grid, run_kernel
 from .stats import geomean, geomean_delta, percent_delta
 from .tables import (
     PAPER_TABLE1,
@@ -40,6 +40,7 @@ __all__ = [
     "prevv_with_depth",
     "RunResult",
     "make_done_condition",
+    "run_grid",
     "run_kernel",
     "geomean",
     "geomean_delta",

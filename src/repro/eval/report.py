@@ -7,7 +7,7 @@ numbers — the automated counterpart of EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import sys
+import argparse
 import time
 from typing import Optional, Sequence
 
@@ -25,11 +25,13 @@ from .tables import (
 def generate_report(
     kernels: Optional[Sequence[str]] = None,
     include_timing: bool = True,
+    jobs: int = 1,
 ) -> str:
     """Regenerate every artefact and return one markdown document.
 
     ``include_timing=False`` skips Table II (the only part that needs
-    cycle-accurate simulation) for a fast area-only report.
+    cycle-accurate simulation) for a fast area-only report; ``jobs``
+    fans Table II's simulations out over worker processes.
     """
     sections = ["# PreVV reproduction report", ""]
     started = time.strftime("%Y-%m-%d %H:%M:%S")
@@ -65,7 +67,7 @@ def generate_report(
     if include_timing:
         sections.append("## Table II — timing")
         sections.append("```")
-        sections.append(format_table2(table2(kernels)))
+        sections.append(format_table2(table2(kernels, jobs=jobs)))
         sections.append("```")
         sections.append("Paper cells:")
         sections.append("```")
@@ -82,12 +84,22 @@ def generate_report(
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    out_path = argv[0] if argv else "prevv_report.md"
-    report = generate_report()
-    with open(out_path, "w") as handle:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.report",
+        description="Regenerate the full reproduction report.",
+    )
+    parser.add_argument("out", nargs="?", default="prevv_report.md",
+                        help="output markdown path")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for Table II simulation")
+    parser.add_argument("--no-timing", action="store_true",
+                        help="skip Table II (no simulation)")
+    opts = parser.parse_args(argv)
+    report = generate_report(include_timing=not opts.no_timing,
+                             jobs=opts.jobs)
+    with open(opts.out, "w") as handle:
         handle.write(report)
-    print(f"wrote {out_path}")
+    print(f"wrote {opts.out}")
     return 0
 
 

@@ -70,7 +70,7 @@ def make_done_condition(build: BuildResult):
         if any(c.is_busy for c in build.circuit.components):
             return False
         for unit in build.units:
-            if unit.queue.occupancy or any(unit._pending):
+            if unit.queue.occupancy or unit.has_pending:
                 return False
         if build.units and build.memory.log_length:
             return False
@@ -84,14 +84,25 @@ def run_kernel(
     config: HardwareConfig,
     max_cycles: int = 2_000_000,
     keep_build: bool = False,
+    trace=None,
+    collect_stats: Optional[bool] = None,
 ) -> RunResult:
-    """Evaluate one kernel (a :class:`repro.kernels.Kernel`) under ``config``."""
+    """Evaluate one kernel (a :class:`repro.kernels.Kernel`) under ``config``.
+
+    Per-channel statistics default to *off* (the simulator's stat-free
+    fast path) — nothing in the evaluation tables reads them.  Passing a
+    ``trace`` turns them back on so captured waveforms stay complete;
+    ``collect_stats`` overrides either way.
+    """
     fn = kernel.build_ir()
     golden = run_golden(fn, args=kernel.args, memory=kernel.memory_init)
     build = compile_function(fn, config, args=kernel.args)
     build.memory.initialize(kernel.memory_init)
 
-    sim = Simulator(build.circuit, max_cycles=max_cycles)
+    if collect_stats is None:
+        collect_stats = trace is not None
+    sim = Simulator(build.circuit, max_cycles=max_cycles, trace=trace,
+                    collect_stats=collect_stats)
     if build.squash_controller is not None:
         sim.end_of_cycle_hooks.append(build.squash_controller.end_of_cycle)
     sim.run(make_done_condition(build))
@@ -129,3 +140,44 @@ def run_kernel(
     for lsq in build.lsqs:
         result.lsq_alloc_stalls += lsq.alloc_stalls
     return result
+
+
+# ----------------------------------------------------------------------
+# Grid evaluation (all kernels x all configs), optionally in parallel
+# ----------------------------------------------------------------------
+def _grid_worker(point):
+    """Top-level (picklable) worker: one (kernel, config) point.
+
+    Returns ``(RunResult, clock period ns)``.  The build itself stays in
+    the worker — circuits hold operator lambdas and are not picklable —
+    so the clock period the tables need is computed here.
+    """
+    kernel, config, max_cycles = point
+    from ..area import clock_period
+
+    result = run_kernel(kernel, config, max_cycles=max_cycles,
+                        keep_build=True)
+    period = clock_period(result.build.circuit)
+    result.build = None
+    return result, period
+
+
+def run_grid(
+    points,
+    max_cycles: int = 2_000_000,
+    jobs: int = 1,
+) -> List:
+    """Evaluate ``points`` (``(kernel, config)`` pairs) -> results + periods.
+
+    With ``jobs > 1`` the points are distributed over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; results come back
+    in input order either way, so reports are deterministic regardless
+    of scheduling.
+    """
+    work = [(kernel, config, max_cycles) for kernel, config in points]
+    if jobs <= 1 or len(work) <= 1:
+        return [_grid_worker(w) for w in work]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+        return list(pool.map(_grid_worker, work))

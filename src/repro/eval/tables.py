@@ -16,7 +16,7 @@ from ..compile import compile_function
 from ..config import HardwareConfig
 from ..kernels import PAPER_KERNELS, get_kernel
 from .configs import ALL_CONFIGS
-from .runner import run_kernel
+from .runner import run_grid
 from .stats import geomean, percent_delta
 
 #: paper values for side-by-side reporting in EXPERIMENTS.md
@@ -94,16 +94,23 @@ def table2(
     kernels: Optional[Sequence[str]] = None,
     configs: Optional[Sequence[HardwareConfig]] = None,
     max_cycles: int = 2_000_000,
+    jobs: int = 1,
 ) -> List[Table2Row]:
-    """Timing (Table II): simulated cycles x modelled clock period."""
+    """Timing (Table II): simulated cycles x modelled clock period.
+
+    ``jobs > 1`` fans the (kernel, config) grid out over worker
+    processes; the rows are identical to a serial run (results are
+    gathered in input order).
+    """
+    knames = list(kernels or PAPER_KERNELS)
+    cfgs = list(configs or ALL_CONFIGS)
+    points = [(get_kernel(kname), cfg) for kname in knames for cfg in cfgs]
+    outcomes = run_grid(points, max_cycles=max_cycles, jobs=jobs)
     rows = []
-    for kname in kernels or PAPER_KERNELS:
+    for i, kname in enumerate(knames):
         row = Table2Row(kname)
-        for cfg in configs or ALL_CONFIGS:
-            kernel = get_kernel(kname)
-            result = run_kernel(kernel, cfg, max_cycles=max_cycles,
-                                keep_build=True)
-            period = clock_period(result.build.circuit)
+        for j, cfg in enumerate(cfgs):
+            result, period = outcomes[i * len(cfgs) + j]
             row.cycles[cfg.name] = result.cycles
             row.period[cfg.name] = round(period, 2)
             row.exec_us[cfg.name] = round(

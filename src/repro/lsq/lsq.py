@@ -80,6 +80,12 @@ class LoadStoreQueue(Component):
     """Ordered load-store queue with group allocation."""
 
     resource_class = "lsq"
+    # Allocation/acceptance readys derive from queue occupancy and input
+    # valids; load responses come from entry state — no output-ready reads.
+    observes_output_ready = False
+    # Input valids steer only allocation/acceptance (ready) decisions;
+    # load-response valids are pure entry state — no same-cycle carry.
+    forwards_valid = False
 
     def __init__(
         self,

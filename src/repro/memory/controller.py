@@ -31,6 +31,12 @@ class MemoryController(Component):
     """Unordered per-array memory interface."""
 
     resource_class = "memory_controller"
+    # Grants depend on input valids and internal state only; response
+    # data comes from the latency queues — never from an output ready.
+    observes_output_ready = False
+    # Input valids steer only the grant (ready) side; output valids are
+    # pure latency-queue state, so the valid wave terminates here.
+    forwards_valid = False
 
     def __init__(
         self,

@@ -63,9 +63,10 @@ class FakeTokenGenerator(Component):
             self.drive_out("out", token.with_value(("fake",)))
             self.drive_ready("in", self.out_ready("out"))
 
-    def tick(self) -> None:
+    def tick(self):
         if self.outputs["out"].fires:
             self.generated += 1
+        return False  # the counter never feeds propagate
 
 
 class DoneTokenGenerator(Component):
@@ -83,6 +84,7 @@ class DoneTokenGenerator(Component):
             self.drive_out("out", token.with_value(("done",)))
             self.drive_ready("in", self.out_ready("out"))
 
-    def tick(self) -> None:
+    def tick(self):
         if self.outputs["out"].fires:
             self.generated += 1
+        return False  # the counter never feeds propagate

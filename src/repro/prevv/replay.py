@@ -254,7 +254,7 @@ class SquashController:
     def has_pending_squash(self) -> bool:
         return bool(self._pending)
 
-    def end_of_cycle(self) -> None:
+    def end_of_cycle(self):
         """Simulator hook: execute pending squashes after all ticks.
 
         The requested targets are expanded transitively: squashing domain
@@ -265,7 +265,7 @@ class SquashController:
         their first contaminated iteration too, until a fixpoint.
         """
         if not self._pending:
-            return
+            return None
         targets: Dict[int, int] = {}
         for domain, min_iter in self._pending:
             if domain not in targets or min_iter < targets[domain]:
@@ -285,6 +285,10 @@ class SquashController:
                         targets[other_dom] = point
                         changed = True
         self._execute_squashes(targets)
+        # Truthy return tells the simulator's incremental engine that this
+        # hook mutated circuit state (flushed channels, rewound gates), so
+        # every component must be re-evaluated next cycle.
+        return True
 
     def _execute_squashes(self, targets: Dict[int, int]) -> None:
         self.squashes += 1

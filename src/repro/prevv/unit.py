@@ -98,6 +98,7 @@ class PreVVUnit(Component):
         self.benign_reorders = 0
         self.fake_tokens = 0
         self.processed_ops = 0
+        self._port_chs = None  # lazy (port_idx, channel) list, wiring-static
 
     # ------------------------------------------------------------------
     # Elastic interface
@@ -112,21 +113,27 @@ class PreVVUnit(Component):
         return f"p{i}_done"
 
     def _port_channels(self):
-        """Yield (port_idx, channel) for every connected port channel.
+        """(port_idx, channel) pairs for every connected port channel.
 
         Real, fake and done packets arrive on *separate* channels so a
         fast fake path cannot head-of-line-block the slow real path of
-        the same port (and vice versa) inside an external merge.
+        the same port (and vice versa) inside an external merge.  Wiring
+        is static once simulation starts, so the list is computed once.
         """
-        for i in range(len(self.ports)):
-            for name in (
-                self.port_name(i),
-                self.fake_port_name(i),
-                self.done_port_name(i),
-            ):
-                ch = self.inputs.get(name)
-                if ch is not None:
-                    yield i, ch
+        cached = self._port_chs
+        if cached is None:
+            cached = []
+            for i in range(len(self.ports)):
+                for name in (
+                    self.port_name(i),
+                    self.fake_port_name(i),
+                    self.done_port_name(i),
+                ):
+                    ch = self.inputs.get(name)
+                    if ch is not None:
+                        cached.append((i, ch))
+            self._port_chs = cached
+        return cached
 
     def _accepts(self, port_idx: int, ch) -> bool:
         """Acceptance: reorder-window room, in-window iteration, and
@@ -169,8 +176,6 @@ class PreVVUnit(Component):
         for i, ch in self._port_channels():
             if self._accepts(i, ch):
                 self.drive_ready(ch.consumer_port, True)
-        if self.queue.is_full:
-            self.queue.record_full_stall()
 
     def attach_mc_port(self, port_idx: int, mc, kind: str, mc_port: int) -> None:
         """Link a unit port to the controller port carrying the same op."""
@@ -182,6 +187,11 @@ class PreVVUnit(Component):
             self._last_version[port_idx] = version
 
     def tick(self) -> None:
+        # 0. Account backpressure once per cycle at the clock edge (doing
+        # it in propagate would tie the statistic to the fixpoint engine's
+        # evaluation count).
+        if self.queue.is_full:
+            self.queue.record_full_stall()
         # 1. Pull arrivals into the reorder buffers.
         for i, ch in self._port_channels():
             if ch.fires:
@@ -570,6 +580,16 @@ class PreVVUnit(Component):
         # Busy only when an accepted record can actually be processed;
         # unprocessable backlog must let the deadlock detector speak.
         return self._next_processable() is not None
+
+    @property
+    def has_pending(self) -> bool:
+        """True while any port still holds unvalidated records.
+
+        The public quiescence signal completion conditions should poll
+        (instead of reaching into ``_pending``): the unit is drained only
+        once every accepted packet has been validated and retired.
+        """
+        return any(self._pending)
 
     @property
     def resource_params(self):

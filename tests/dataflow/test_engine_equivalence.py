@@ -1,0 +1,147 @@
+"""The levelized/incremental engine is bit-identical to the seed engine.
+
+:class:`repro.dataflow.reference.ReferenceSimulator` preserves the seed
+worklist algorithm verbatim; these tests pin the rebuilt
+:class:`~repro.dataflow.Simulator` (both the instrumented path and the
+stat-free incremental fast path) to it: same cycle counts, same transfer
+counts, same squash behaviour, same final memory — on every paper kernel
+under every hardware configuration, and on randomly generated circuits.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile import compile_function
+from repro.dataflow import (
+    Circuit,
+    Fifo,
+    Fork,
+    Join,
+    OpaqueBuffer,
+    Operator,
+    ReferenceSimulator,
+    Simulator,
+    Sink,
+    Source,
+    TransparentBuffer,
+    TransparentFifo,
+)
+from repro.eval.configs import ALL_CONFIGS
+from repro.eval.runner import make_done_condition
+from repro.kernels import get_kernel
+
+SIZES = {
+    "polyn_mult": {"n": 10},
+    "2mm": {"n": 4},
+    "3mm": {"n": 4},
+    "gaussian": {"n": 6},
+    "triangular": {"n": 12},
+}
+
+
+def _run(sim_cls, kernel_name, config, **sim_kwargs):
+    kernel = get_kernel(kernel_name, **SIZES[kernel_name])
+    build = compile_function(
+        kernel.build_ir(), config, args=kernel.args
+    )
+    build.memory.initialize(kernel.memory_init)
+    sim = sim_cls(build.circuit, max_cycles=500_000, **sim_kwargs)
+    if build.squash_controller is not None:
+        sim.end_of_cycle_hooks.append(build.squash_controller.end_of_cycle)
+    stats = sim.run(make_done_condition(build))
+    ctrl = build.squash_controller
+    return {
+        "cycles": stats.cycles,
+        "transfers": stats.transfers,
+        "squashes": ctrl.squashes if ctrl else 0,
+        "squashed_iterations": ctrl.squashed_iterations if ctrl else 0,
+        "memory": build.memory.snapshot(),
+    }
+
+
+@pytest.mark.parametrize("kernel_name", sorted(SIZES))
+@pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.name)
+def test_kernel_grid_bit_identical(kernel_name, config):
+    reference = _run(ReferenceSimulator, kernel_name, config)
+    classic = _run(Simulator, kernel_name, config, collect_stats=True)
+    fast = _run(Simulator, kernel_name, config, collect_stats=False)
+    assert classic == reference
+    assert fast == reference
+
+
+def test_fast_path_uses_incremental_engine():
+    """The kernels' circuits satisfy the acyclicity conditions, so the
+    stat-free path must actually take the incremental engine (the grid
+    test above would silently lose coverage otherwise)."""
+    kernel = get_kernel("gaussian", n=4)
+    build = compile_function(
+        kernel.build_ir(), ALL_CONFIGS[2], args=kernel.args
+    )
+    sim = Simulator(build.circuit, collect_stats=False)
+    assert sim._use_incremental
+    assert Simulator(build.circuit, collect_stats=True)._use_incremental is False
+
+
+def _random_circuit(stages, fork_at, limit):
+    """A linear elastic pipeline with one fork/join diamond.
+
+    ``stages`` draws from a small component menu; the diamond at
+    ``fork_at`` exercises eager-fork done bits and join synchronization
+    under both engines.
+    """
+    circuit = Circuit("rand")
+    source = circuit.add(Source("src", value=3, limit=limit))
+    prev, prev_port = source, "out"
+    for i, kind in enumerate(stages):
+        if kind == 0:
+            comp = circuit.add(OpaqueBuffer(f"oehb{i}"))
+        elif kind == 1:
+            comp = circuit.add(TransparentBuffer(f"tehb{i}"))
+        elif kind == 2:
+            comp = circuit.add(Fifo(f"fifo{i}", depth=2))
+        elif kind == 3:
+            comp = circuit.add(TransparentFifo(f"tfifo{i}", depth=2))
+        elif kind == 4:
+            comp = circuit.add(
+                Operator(f"inc{i}", lambda a: a + 1, 1, latency=0)
+            )
+        else:
+            comp = circuit.add(
+                Operator(f"mul{i}", lambda a: a * 2, 1, latency=2)
+            )
+        circuit.connect(prev, prev_port, comp, "in" if kind < 4 else "in0")
+        prev, prev_port = comp, "out"
+    fork = circuit.add(Fork("fk", 2))
+    circuit.connect(prev, prev_port, fork, "in")
+    slow = circuit.add(OpaqueBuffer("slow"))
+    circuit.connect(fork, "out0", slow, "in")
+    join = circuit.add(Join("jn", 2))
+    circuit.connect(slow, "out", join, "in0")
+    circuit.connect(fork, "out1", join, "in1")
+    sink = circuit.add(Sink("snk"))
+    circuit.connect(join, "out", sink, "in")
+    return circuit, sink
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    stages=st.lists(st.integers(0, 5), min_size=1, max_size=6),
+    limit=st.integers(1, 8),
+    cycles=st.integers(1, 40),
+)
+def test_random_circuits_bit_identical(stages, limit, cycles):
+    results = []
+    for build_sim in (
+        lambda c: ReferenceSimulator(c),
+        lambda c: Simulator(c, collect_stats=True),
+        lambda c: Simulator(c, collect_stats=False),
+    ):
+        circuit, sink = _random_circuit(stages, 0, limit)
+        sim = build_sim(circuit)
+        sim.run_cycles(cycles)
+        results.append(
+            (sim.stats.cycles, sim.stats.transfers, sink.values)
+        )
+    assert results[1] == results[0]
+    assert results[2] == results[0]
