@@ -78,6 +78,7 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "PV204": (Severity.ERROR, "memory style cannot order the kernel's ambiguous pairs"),
     "PV205": (Severity.WARNING, "premature-queue depth is not a power of two"),
     "PV206": (Severity.INFO, "dimension reduction collapsed overlapped pairs"),
+    "PV207": (Severity.ERROR, "component class lacks an audited scheduling contract"),
 }
 
 

@@ -233,3 +233,46 @@ class DimensionReductionPass(LintPass):
                 location=f"{ctx.fn.name if ctx.fn else 'build'}",
                 hint="Eq. 11 exponential duplication avoided",
             )
+
+
+@register_pass
+class SchedulingContractAuditPass(LintPass):
+    """PV207: every component class in a PreVV build must be audited.
+
+    The incremental cross-cycle engine trusts three per-class contract
+    flags (``observes_input_valid``, ``forwards_valid``,
+    ``observes_output_ready``) plus each :meth:`tick`'s changed-state
+    report to decide which components it may skip.  A class whose
+    contract was never checked against its ``propagate``/``tick`` bodies
+    can silently corrupt results (flag too permissive) or de-optimize
+    every PreVV simulation back to full sweeps (flag too conservative).
+    The audit is recorded by setting ``scheduling_contract_audited=True``
+    on the class; this pass refuses any PreVV-build component class that
+    does not carry the marker.
+    """
+
+    name = "prevv-scheduling-contract"
+    layer = "prevv"
+    codes = ("PV207",)
+    requires = ("circuit", "config")
+
+    def run(self, ctx: LintContext) -> None:
+        if ctx.config.memory_style != "prevv":
+            return
+        flagged = set()
+        for comp in ctx.circuit.components:
+            cls = type(comp)
+            if cls in flagged:
+                continue
+            if not getattr(cls, "scheduling_contract_audited", False):
+                flagged.add(cls)
+                ctx.emit(
+                    "PV207",
+                    f"component class {cls.__name__} (e.g. {comp.name!r}) "
+                    "does not declare an audited scheduling contract",
+                    location=f"{ctx.circuit.name}:{comp.name}",
+                    hint="check observes_input_valid / forwards_valid / "
+                    "observes_output_ready and the tick() change report "
+                    "against the class' propagate/tick bodies, then set "
+                    "scheduling_contract_audited = True on the class",
+                )

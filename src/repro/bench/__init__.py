@@ -37,8 +37,41 @@ QUICK_SIZES: Dict[str, Dict[str, int]] = {
 REGRESSION_TOLERANCE = 0.25
 
 
+def _instrument_attribution(circuit) -> Dict[str, Dict]:
+    """Wrap every component's ``propagate`` with a per-class meter.
+
+    The engine looks ``comp.propagate`` up at call time (never pre-bound),
+    so an instance-level wrapper attributes evaluation count and wall
+    time to the component's class without changing a single signal.  The
+    timing overhead inflates the *point's* wall clock — profile runs are
+    for attribution, not for absolute throughput numbers.
+    """
+    attribution: Dict[str, Dict] = {}
+    perf = time.perf_counter
+
+    def wrap(comp, slot):
+        inner = comp.propagate
+
+        def metered():
+            t0 = perf()
+            inner()
+            slot["propagate_s"] += perf() - t0
+            slot["propagate_calls"] += 1
+
+        comp.propagate = metered
+
+    for comp in circuit.components:
+        slot = attribution.setdefault(
+            type(comp).__name__,
+            {"instances": 0, "propagate_calls": 0, "propagate_s": 0.0},
+        )
+        slot["instances"] += 1
+        wrap(comp, slot)
+    return attribution
+
+
 def bench_point(kernel_name: str, config, sizes: Optional[Dict[str, int]],
-                max_cycles: int = 2_000_000) -> Dict:
+                max_cycles: int = 2_000_000, profile: bool = False) -> Dict:
     """Time one (kernel, config) point with the stat-free fast path."""
     kernel = get_kernel(kernel_name, **(sizes or {}))
     fn = kernel.build_ir()
@@ -48,10 +81,13 @@ def bench_point(kernel_name: str, config, sizes: Optional[Dict[str, int]],
                     collect_stats=False)
     if build.squash_controller is not None:
         sim.end_of_cycle_hooks.append(build.squash_controller.end_of_cycle)
+    attribution = (
+        _instrument_attribution(build.circuit) if profile else None
+    )
     started = time.perf_counter()
     stats = sim.run(make_done_condition(build))
     wall = time.perf_counter() - started
-    return {
+    point = {
         "kernel": kernel_name,
         "config": config.name,
         "wall_s": round(wall, 4),
@@ -62,6 +98,28 @@ def bench_point(kernel_name: str, config, sizes: Optional[Dict[str, int]],
             stats.propagate_calls / max(1, stats.cycles), 3
         ),
     }
+    if attribution is not None:
+        total_s = sum(s["propagate_s"] for s in attribution.values())
+        cycles = max(1, stats.cycles)
+        point["profile"] = {
+            cls: {
+                "instances": slot["instances"],
+                "propagate_calls": slot["propagate_calls"],
+                "calls_per_cycle": round(
+                    slot["propagate_calls"] / cycles, 3
+                ),
+                "wall_s": round(slot["propagate_s"], 4),
+                "wall_pct": round(
+                    100.0 * slot["propagate_s"] / total_s, 1
+                ) if total_s > 0 else 0.0,
+            }
+            for cls, slot in sorted(
+                attribution.items(),
+                key=lambda kv: kv[1]["propagate_s"],
+                reverse=True,
+            )
+        }
+    return point
 
 
 def _bench_worker(args):
@@ -69,13 +127,31 @@ def _bench_worker(args):
 
 
 def run_bench(quick: bool = True, jobs: int = 1,
-              kernels: Optional[Sequence[str]] = None) -> Dict:
-    """Run the full grid; returns the BENCH_simulator.json payload."""
+              kernels: Optional[Sequence[str]] = None,
+              configs: Optional[Sequence[str]] = None,
+              profile: bool = False) -> Dict:
+    """Run the full grid; returns the BENCH_simulator.json payload.
+
+    ``configs`` filters the hardware-configuration axis by name (e.g.
+    ``["prevv16", "prevv64"]`` for the PreVV-only CI gate); ``profile``
+    adds per-component-class propagate time/eval attribution to every
+    point (and inflates wall clocks — see ``_instrument_attribution``).
+    """
     knames = list(kernels or PAPER_KERNELS)
+    grid_configs = ALL_CONFIGS
+    if configs is not None:
+        known = {c.name: c for c in ALL_CONFIGS}
+        unknown = [name for name in configs if name not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown config(s) {unknown}; choose from {sorted(known)}"
+            )
+        grid_configs = [known[name] for name in configs]
     work = [
-        (kname, cfg, QUICK_SIZES.get(kname) if quick else None)
+        (kname, cfg, QUICK_SIZES.get(kname) if quick else None,
+         2_000_000, profile)
         for kname in knames
-        for cfg in ALL_CONFIGS
+        for cfg in grid_configs
     ]
     started = time.perf_counter()
     if jobs > 1 and len(work) > 1:
@@ -91,6 +167,8 @@ def run_bench(quick: bool = True, jobs: int = 1,
         "bench": "simulator",
         "quick": quick,
         "jobs": jobs,
+        "configs": [c.name for c in grid_configs],
+        "profile": profile,
         "total_wall_s": round(total, 3),
         "serial_wall_s": serial,
         "pre_opt_table2_s": PRE_OPT_TABLE2_SECONDS,
@@ -182,9 +260,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--table2", action="store_true",
                         help="also time a full single-process table2 run "
                         "(the pre-opt baseline's exact workload)")
+    parser.add_argument("--configs", metavar="NAMES",
+                        help="comma-separated config names to bench "
+                        "(e.g. prevv16,prevv64); default: all")
+    parser.add_argument("--profile", action="store_true",
+                        help="attribute propagate time/evals per "
+                        "component class (inflates wall clocks)")
     opts = parser.parse_args(argv)
 
-    result = run_bench(quick=opts.quick, jobs=opts.jobs)
+    configs = opts.configs.split(",") if opts.configs else None
+    result = run_bench(quick=opts.quick, jobs=opts.jobs,
+                       configs=configs, profile=opts.profile)
     if opts.table2:
         result.update(time_table2(quick=opts.quick))
     with open(opts.out, "w") as handle:
@@ -197,6 +283,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{point['cycles_per_sec']:>8d} cyc/s  "
             f"{point['propagate_calls_per_cycle']:>8.3f} evals/cyc"
         )
+        if opts.profile:
+            for cls, slot in list(point["profile"].items())[:4]:
+                print(
+                    f"    {cls:20s} x{slot['instances']:<3d} "
+                    f"{slot['calls_per_cycle']:>8.3f} evals/cyc  "
+                    f"{slot['wall_s']:>7.3f}s ({slot['wall_pct']:.1f}%)"
+                )
     line = (
         f"total {result['total_wall_s']:.2f}s "
         f"(serial {result['serial_wall_s']:.2f}s)"

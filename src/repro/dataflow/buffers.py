@@ -27,6 +27,7 @@ class OpaqueBuffer(Component):
 
     resource_class = "oehb"
     observes_input_valid = False  # propagate drives from the slot only
+    scheduling_contract_audited = True
 
     def __init__(self, name: str, width: int = 32):
         super().__init__(name)
@@ -87,6 +88,7 @@ class TransparentBuffer(Component):
 
     resource_class = "tehb"
     observes_output_ready = False  # in.ready depends on the slot only
+    scheduling_contract_audited = True
 
     def __init__(self, name: str, width: int = 32):
         super().__init__(name)
@@ -151,6 +153,7 @@ class TransparentFifo(Component):
 
     resource_class = "fifo"
     observes_output_ready = False  # in.ready depends on occupancy only
+    scheduling_contract_audited = True
 
     def __init__(self, name: str, depth: int, width: int = 32):
         super().__init__(name)
@@ -214,6 +217,7 @@ class Fifo(Component):
 
     resource_class = "fifo"
     observes_input_valid = False  # propagate drives from stored items only
+    scheduling_contract_audited = True
 
     def __init__(self, name: str, depth: int, width: int = 32):
         super().__init__(name)

@@ -69,6 +69,15 @@ class Component:
     #: them when a downstream ready rises.
     observes_output_ready: bool = True
 
+    #: Audit marker for the scheduling contract: a class sets this True
+    #: once its three flags above *and* its :meth:`tick` change report
+    #: have been checked against its ``propagate``/``tick`` bodies.  Every
+    #: component class consumed by a PreVV build must carry the marker —
+    #: the PV207 lint pass enforces it — so a future component with an
+    #: unaudited (hence possibly wrong) contract cannot silently corrupt
+    #: or de-optimize the incremental cross-cycle engine.
+    scheduling_contract_audited: bool = False
+
     def __init__(self, name: str):
         self.name = name
         self.inputs: Dict[str, Channel] = {}

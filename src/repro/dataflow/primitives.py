@@ -30,15 +30,20 @@ class Entry(Component):
 
     resource_class = "entry"
     observes_output_ready = False  # emits unconditionally until consumed
+    scheduling_contract_audited = True
 
     def __init__(self, name: str, value: Any = None):
         super().__init__(name)
         self.value = value
         self._emitted = False
+        self._token: Optional[Token] = None  # stable across evaluations
 
     def propagate(self) -> None:
         if not self._emitted:
-            self.drive_out("out", Token(self.value))
+            token = self._token
+            if token is None:
+                token = self._token = Token(self.value)
+            self.drive_out("out", token)
 
     def tick(self):
         if not self._emitted and self.out_fires("out"):
@@ -55,16 +60,21 @@ class Source(Component):
 
     resource_class = "source"
     observes_output_ready = False  # offers unconditionally
+    scheduling_contract_audited = True
 
     def __init__(self, name: str, value: Any = None, limit: Optional[int] = None):
         super().__init__(name)
         self.value = value
         self.limit = limit
         self.emitted = 0
+        self._token: Optional[Token] = None  # stable across evaluations
 
     def propagate(self) -> None:
         if self.limit is None or self.emitted < self.limit:
-            self.drive_out("out", Token(self.value))
+            token = self._token
+            if token is None:
+                token = self._token = Token(self.value)
+            self.drive_out("out", token)
 
     def tick(self):
         if self.out_fires("out"):
@@ -79,6 +89,7 @@ class Sink(Component):
 
     resource_class = "sink"
     observes_input_valid = False  # unconditionally ready
+    scheduling_contract_audited = True
 
     def __init__(self, name: str, record: bool = True):
         super().__init__(name)
@@ -111,16 +122,25 @@ class Constant(Component):
     """One constant token per control token (Dynamatic's triggered constant)."""
 
     resource_class = "constant"
+    scheduling_contract_audited = True
 
     def __init__(self, name: str, value: Any, width: int = 32):
         super().__init__(name)
         self.value = value
         self.width = width
+        self._cache = [None, None]  # [ctrl token, combined output token]
 
     def propagate(self) -> None:
         if self.in_valid("ctrl"):
             ctrl = self.in_token("ctrl")
-            self.drive_out("out", combine(self.value, ctrl))
+            cache = self._cache
+            if cache[0] is ctrl:
+                out = cache[1]
+            else:
+                out = combine(self.value, ctrl)
+                cache[0] = ctrl
+                cache[1] = out
+            self.drive_out("out", out)
             self.drive_ready("ctrl", self.out_ready("out"))
 
     @property
@@ -137,6 +157,7 @@ class Fork(Component):
     """
 
     resource_class = "fork"
+    scheduling_contract_audited = True
 
     def __init__(self, name: str, n_outputs: int, width: int = 32):
         super().__init__(name)
@@ -212,6 +233,7 @@ class Join(Component):
     """
 
     resource_class = "join"
+    scheduling_contract_audited = True
 
     def __init__(self, name: str, n_inputs: int):
         super().__init__(name)
@@ -219,6 +241,7 @@ class Join(Component):
             raise ValueError("join needs at least one input")
         self.n_inputs = n_inputs
         self._in_chs: Optional[List] = None  # bound lazily after wiring
+        self._cache = [None, None]  # [input token tuple, output token]
 
     def in_port(self, i: int) -> str:
         return f"in{i}"
@@ -237,7 +260,17 @@ class Join(Component):
             toks.append(ch.data)
         out_ch = self.outputs["out"]
         out_ch.valid = True
-        out_ch.data = combine(toks[0].value, *toks)
+        cache = self._cache
+        last = cache[0]
+        if last is not None and len(last) == len(toks) and all(
+            a is b for a, b in zip(last, toks)
+        ):
+            out_ch.data = cache[1]
+        else:
+            out = combine(toks[0].value, *toks)
+            cache[0] = toks
+            cache[1] = out
+            out_ch.data = out
         if out_ch.ready:
             for ch in ins:
                 ch.ready = True

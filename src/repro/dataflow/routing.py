@@ -25,6 +25,7 @@ class Merge(Component):
     """Forward a token from any valid input; lowest index has priority."""
 
     resource_class = "merge"
+    scheduling_contract_audited = True
 
     def __init__(self, name: str, n_inputs: int, width: int = 32):
         super().__init__(name)
@@ -64,12 +65,14 @@ class ControlMerge(Component):
     """
 
     resource_class = "cmerge"
+    scheduling_contract_audited = True
 
     def __init__(self, name: str, n_inputs: int):
         super().__init__(name)
         self.n_inputs = n_inputs
         self._done_out = False
         self._done_index = False
+        self._cache = [None, -1, None]  # [ctrl token, winner, index token]
         # Once emission for a winner starts (a done bit is set), the merge
         # is committed to that input until the full handshake completes:
         # a token arriving meanwhile on a higher-priority input must not
@@ -99,7 +102,15 @@ class ControlMerge(Component):
         if not self._done_out:
             self.drive_out("out", tok)
         if not self._done_index:
-            self.drive_out("index", tok.with_value(w))
+            cache = self._cache
+            if cache[0] is tok and cache[1] == w:
+                index_tok = cache[2]
+            else:
+                index_tok = tok.with_value(w)
+                cache[0] = tok
+                cache[1] = w
+                cache[2] = index_tok
+            self.drive_out("index", index_tok)
         out_ok = self._done_out or self.outputs["out"].ready
         idx_ok = self._done_index or self.outputs["index"].ready
         if out_ok and idx_ok:
@@ -144,12 +155,14 @@ class Mux(Component):
     """Data phi: forward the data input chosen by the select token."""
 
     resource_class = "mux"
+    scheduling_contract_audited = True
 
     def __init__(self, name: str, n_inputs: int, width: int = 32):
         super().__init__(name)
         self.n_inputs = n_inputs
         self.width = width
         self._in_chs = None  # bound lazily after wiring
+        self._cache = [None, None, None]  # [select tok, data tok, output]
 
     def in_port(self, i: int) -> str:
         return f"in{i}"
@@ -173,7 +186,15 @@ class Mux(Component):
         out_ch = self._out_ch
         data_tok = data_ch.data
         out_ch.valid = True
-        out_ch.data = combine(data_tok.value, data_tok, sel_tok)
+        cache = self._cache
+        if cache[0] is sel_tok and cache[1] is data_tok:
+            out_ch.data = cache[2]
+        else:
+            out = combine(data_tok.value, data_tok, sel_tok)
+            cache[0] = sel_tok
+            cache[1] = data_tok
+            cache[2] = out
+            out_ch.data = out
         if out_ch.ready:
             sel_ch.ready = True
             data_ch.ready = True
@@ -187,11 +208,13 @@ class Branch(Component):
     """Route ``data`` to output ``true`` or ``false`` per the ``cond`` token."""
 
     resource_class = "branch"
+    scheduling_contract_audited = True
 
     def __init__(self, name: str, width: int = 32):
         super().__init__(name)
         self.width = width
         self._cond_ch = None  # bound lazily after wiring
+        self._cache = [None, None, None]  # [cond tok, data tok, output]
 
     def _bind(self):
         self._cond_ch = self.inputs["cond"]
@@ -209,7 +232,15 @@ class Branch(Component):
         data_tok = data_ch.data
         out_ch = self._true_ch if cond_tok.value else self._false_ch
         out_ch.valid = True
-        out_ch.data = combine(data_tok.value, data_tok, cond_tok)
+        cache = self._cache
+        if cache[0] is cond_tok and cache[1] is data_tok:
+            out_ch.data = cache[2]
+        else:
+            out = combine(data_tok.value, data_tok, cond_tok)
+            cache[0] = cond_tok
+            cache[1] = data_tok
+            cache[2] = out
+            out_ch.data = out
         if out_ch.ready:
             cond_ch.ready = True
             data_ch.ready = True
@@ -223,10 +254,12 @@ class Select(Component):
     """Ternary select: consume cond, a, b; emit a when cond else b."""
 
     resource_class = "select"
+    scheduling_contract_audited = True
 
     def __init__(self, name: str, width: int = 32):
         super().__init__(name)
         self.width = width
+        self._cache = [None, None, None, None]  # [cond, a, b, output]
 
     def propagate(self) -> None:
         cond = self.inputs["cond"]
@@ -234,8 +267,17 @@ class Select(Component):
         b = self.inputs["b"]
         if not (cond.valid and a.valid and b.valid):
             return
-        chosen = a.data if cond.data.value else b.data
-        self.drive_out("out", combine(chosen.value, cond.data, a.data, b.data))
+        cache = self._cache
+        if cache[0] is cond.data and cache[1] is a.data and cache[2] is b.data:
+            out = cache[3]
+        else:
+            chosen = a.data if cond.data.value else b.data
+            out = combine(chosen.value, cond.data, a.data, b.data)
+            cache[0] = cond.data
+            cache[1] = a.data
+            cache[2] = b.data
+            cache[3] = out
+        self.drive_out("out", out)
         if self.out_ready("out"):
             self.drive_ready("cond", True)
             self.drive_ready("a", True)

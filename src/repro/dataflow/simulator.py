@@ -10,9 +10,13 @@ Each cycle has two phases:
    in a **statically levelized order** (topological over the valid
    network, computed by :mod:`repro.dataflow.schedule` at construction),
    which settles the forward valid/data wave in a single sweep; the
-   backward ready wave and any cyclic residue are finished by an
-   array-based dirty worklist that re-evaluates exactly the components
-   whose watched signals changed.  Signal state is *slotted*: every
+   backward ready wave and any cyclic residue are finished by a
+   dirty worklist that re-evaluates exactly the components whose watched
+   signals changed, draining in *schedule-position order* (a binary heap
+   keyed by the levelized position): when several components are dirty,
+   the most-upstream one runs first, so one re-evaluation wave settles
+   reconvergent fan-out instead of bouncing each component once per
+   predecessor.  Signal state is *slotted*: every
    channel owns an integer slot in flat last-seen arrays, so change
    detection is list indexing instead of per-round dict/tuple snapshots.
 
@@ -38,7 +42,7 @@ of a premature-queue deadlock.
 
 from __future__ import annotations
 
-from collections import deque
+from heapq import heappop, heappush
 from typing import Callable, Dict, List
 
 from ..errors import ConvergenceError, DeadlockError, SimulationError
@@ -180,7 +184,10 @@ class Simulator:
         self._zeros = bytes(n)
         self._nones: List = [None] * n
         self._queued = bytearray(len(order))
-        self._worklist = deque()
+        # Dirty worklist: a min-heap of schedule positions (deduplicated
+        # by the _queued byte array), so draining always evaluates the
+        # most-upstream dirty component first.
+        self._worklist: List[int] = []
 
         # Per-cycle loops only visit components that can do anything there.
         comps = circuit.components
@@ -248,7 +255,7 @@ class Simulator:
                     ld[s] = d
                     if not queued[tgt]:
                         queued[tgt] = 1
-                        worklist.append(tgt)
+                        heappush(worklist, tgt)
             for ch, s in orc:
                 lv[s] = ch.valid
                 ld[s] = ch.data
@@ -258,7 +265,7 @@ class Simulator:
                     lr[s] = r
                     if not queued[tgt]:
                         queued[tgt] = 1
-                        worklist.append(tgt)
+                        heappush(worklist, tgt)
             for ch, s in irc:
                 lr[s] = ch.ready
 
@@ -278,7 +285,7 @@ class Simulator:
                     f"settle within {cap} re-evaluations at cycle "
                     f"{self.stats.cycles}"
                 )
-            pos = worklist.popleft()
+            pos = heappop(worklist)
             queued[pos] = 0
             order[pos].propagate()
             dow, dorc, diw, dirc = drain_plan[pos]
@@ -290,7 +297,7 @@ class Simulator:
                     ld[s] = d
                     if not queued[tgt]:
                         queued[tgt] = 1
-                        worklist.append(tgt)
+                        heappush(worklist, tgt)
             for ch, s in dorc:
                 lv[s] = ch.valid
                 ld[s] = ch.data
@@ -300,7 +307,7 @@ class Simulator:
                     lr[s] = r
                     if not queued[tgt]:
                         queued[tgt] = 1
-                        worklist.append(tgt)
+                        heappush(worklist, tgt)
             for ch, s in dirc:
                 lr[s] = ch.ready
         self.stats.propagate_calls += calls + drained
@@ -342,7 +349,7 @@ class Simulator:
                     f"settle within {cap} re-evaluations at cycle "
                     f"{self.stats.cycles}"
                 )
-            pos = worklist.popleft()
+            pos = heappop(worklist)
             queued[pos] = 0
             outs, ins = driven[pos]
             for ch in outs:
@@ -360,7 +367,7 @@ class Simulator:
                     ld[s] = d
                     if not queued[tgt]:
                         queued[tgt] = 1
-                        worklist.append(tgt)
+                        heappush(worklist, tgt)
             for ch, s in dorc:
                 lv[s] = ch.valid
                 ld[s] = ch.data
@@ -370,7 +377,7 @@ class Simulator:
                     lr[s] = r
                     if not queued[tgt]:
                         queued[tgt] = 1
-                        worklist.append(tgt)
+                        heappush(worklist, tgt)
             for ch, s in dirc:
                 lr[s] = ch.ready
         self.stats.propagate_calls += drained
@@ -403,7 +410,7 @@ class Simulator:
             for comp, pos in self._tick_plan:
                 if comp.tick() is not False and not queued[pos]:
                     queued[pos] = 1
-                    worklist.append(pos)
+                    heappush(worklist, pos)
             for hook in self.end_of_cycle_hooks:
                 if hook():
                     self._all_dirty = True

@@ -86,6 +86,7 @@ class LoadStoreQueue(Component):
     # Input valids steer only allocation/acceptance (ready) decisions;
     # load-response valids are pure entry state — no same-cycle carry.
     forwards_valid = False
+    scheduling_contract_audited = True
 
     def __init__(
         self,
@@ -139,6 +140,7 @@ class LoadStoreQueue(Component):
         self.max_load_occupancy = 0
         self.max_store_occupancy = 0
         self.forwarded_loads = 0
+        self._group_chs = None  # port channel lists, bound after wiring
 
     # ------------------------------------------------------------------
     # Occupancy bookkeeping (reserved = allocated + in-flight allocations)
@@ -162,25 +164,47 @@ class LoadStoreQueue(Component):
     # ------------------------------------------------------------------
     # Elastic interface
     # ------------------------------------------------------------------
+    def _bind(self):
+        self._group_chs = [
+            self.inputs[f"group{g}"] for g in range(len(self.groups))
+        ]
+        self._ld_addr_chs = [
+            self.inputs[f"ld{i}_addr"] for i in range(self.n_loads)
+        ]
+        self._ld_data_chs = [
+            self.outputs[f"ld{i}_data"] for i in range(self.n_loads)
+        ]
+        self._st_addr_chs = [
+            self.inputs[f"st{j}_addr"] for j in range(self.n_stores)
+        ]
+        self._st_data_chs = [
+            self.inputs[f"st{j}_data"] for j in range(self.n_stores)
+        ]
+        return self._group_chs
+
     def propagate(self) -> None:
-        for g in range(len(self.groups)):
-            ch = self.inputs[f"group{g}"]
+        groups = self._group_chs
+        if groups is None:
+            groups = self._bind()
+        for g, ch in enumerate(groups):
             if ch.valid and self._can_accept_group(g):
-                self.drive_ready(f"group{g}", True)
+                ch.ready = True
         # Address/data acceptance: ready when an allocated entry awaits it.
         for i in range(self.n_loads):
             if self._awaiting_addr("load", i) is not None:
-                self.drive_ready(f"ld{i}_addr", True)
+                self._ld_addr_chs[i].ready = True
         for j in range(self.n_stores):
             if self._awaiting_addr("store", j) is not None:
-                self.drive_ready(f"st{j}_addr", True)
+                self._st_addr_chs[j].ready = True
             if self._awaiting_data(j) is not None:
-                self.drive_ready(f"st{j}_data", True)
+                self._st_data_chs[j].ready = True
         # Load responses, strictly in per-port program order.
         for i in range(self.n_loads):
             item = self._responses[i].get(self._next_response[i])
             if item is not None and item[0] <= 0:
-                self.drive_out(f"ld{i}_data", item[1])
+                out_ch = self._ld_data_chs[i]
+                out_ch.valid = True
+                out_ch.data = item[1]
 
     def _awaiting_addr(self, kind: str, port: int) -> Optional[_Entry]:
         for entry in self._order:
@@ -199,7 +223,17 @@ class LoadStoreQueue(Component):
         return None
 
     # ------------------------------------------------------------------
-    def tick(self) -> None:
+    def tick(self):
+        if self._group_chs is None:
+            self._bind()
+        # Anything in flight (or arriving this edge) may move internal
+        # state the propagate above reads; a fully drained LSQ with no
+        # fired inputs provably changes nothing — that is the cheap but
+        # accurate change report the incremental engine needs.
+        fired = any(
+            ch.valid and ch.ready for ch in self.inputs.values()
+        )
+        changed = fired or self.is_busy
         self._tick_responses()
         self._tick_allocation()
         self._tick_port_fills()
@@ -209,6 +243,7 @@ class LoadStoreQueue(Component):
         loads, stores = self._reserved()
         self.max_load_occupancy = max(self.max_load_occupancy, loads)
         self.max_store_occupancy = max(self.max_store_occupancy, stores)
+        return changed
 
     def _tick_responses(self) -> None:
         for i in range(self.n_loads):
@@ -217,7 +252,7 @@ class LoadStoreQueue(Component):
             if (
                 item is not None
                 and item[0] <= 0
-                and self.outputs[f"ld{i}_data"].fires
+                and self._ld_data_chs[i].fires
             ):
                 del self._responses[i][head]
                 self._next_response[i] = head + 1
@@ -238,8 +273,7 @@ class LoadStoreQueue(Component):
         for item in self._pending_allocs:
             item[0] -= 1
         # Accept new group tokens.
-        for g in range(len(self.groups)):
-            ch = self.inputs[f"group{g}"]
+        for g, ch in enumerate(self._group_chs):
             if ch.fires:
                 self._pending_allocs.append([self.alloc_latency - 1, g])
             elif ch.valid:
@@ -247,7 +281,7 @@ class LoadStoreQueue(Component):
 
     def _tick_port_fills(self) -> None:
         for i in range(self.n_loads):
-            ch = self.inputs[f"ld{i}_addr"]
+            ch = self._ld_addr_chs[i]
             if ch.fires:
                 entry = self._awaiting_addr("load", i)
                 if entry is None:
@@ -255,14 +289,14 @@ class LoadStoreQueue(Component):
                 entry.addr = int(ch.data.value)
                 entry.addr_token = ch.data
         for j in range(self.n_stores):
-            ch = self.inputs[f"st{j}_addr"]
+            ch = self._st_addr_chs[j]
             if ch.fires:
                 entry = self._awaiting_addr("store", j)
                 if entry is None:
                     raise QueueOverflowError(f"{self.name}: store addr w/o entry")
                 entry.addr = int(ch.data.value)
                 entry.addr_token = ch.data
-            dch = self.inputs[f"st{j}_data"]
+            dch = self._st_data_chs[j]
             if dch.fires:
                 entry = self._awaiting_data(j)
                 if entry is None:

@@ -37,6 +37,7 @@ class MemoryController(Component):
     # Input valids steer only the grant (ready) side; output valids are
     # pure latency-queue state, so the valid wave terminates here.
     forwards_valid = False
+    scheduling_contract_audited = True
 
     def __init__(
         self,
@@ -74,80 +75,125 @@ class MemoryController(Component):
         self._store_domains: Dict[int, int] = {}
         self.load_progress: Dict[int, int] = {}
         self.store_progress: Dict[int, int] = {}
+        self._ld_addr_chs = None  # port channel lists, bound after wiring
 
     # ------------------------------------------------------------------
+    def _bind(self):
+        self._ld_addr_chs = [
+            self.inputs[f"ld{i}_addr"] for i in range(self.n_loads)
+        ]
+        self._ld_data_chs = [
+            self.outputs[f"ld{i}_data"] for i in range(self.n_loads)
+        ]
+        self._st_addr_chs = [
+            self.inputs[f"st{j}_addr"] for j in range(self.n_stores)
+        ]
+        self._st_data_chs = [
+            self.inputs[f"st{j}_data"] for j in range(self.n_stores)
+        ]
+        return self._ld_addr_chs
+
     def _granted_loads(self) -> List[int]:
         """Load ports granted this cycle (round-robin, bandwidth-limited)."""
+        chs = self._ld_addr_chs or self._bind()
         granted = []
         for k in range(self.n_loads):
             i = (self._rr_load + k) % self.n_loads
             if len(granted) >= self.loads_per_cycle:
                 break
-            if self.inputs[f"ld{i}_addr"].valid:
+            if chs[i].valid:
                 granted.append(i)
         return granted
 
     def _granted_stores(self) -> List[int]:
+        if self._ld_addr_chs is None:
+            self._bind()
+        addr_chs = self._st_addr_chs
+        data_chs = self._st_data_chs
         granted = []
         for k in range(self.n_stores):
             j = (self._rr_store + k) % self.n_stores
             if len(granted) >= self.stores_per_cycle:
                 break
-            if (
-                self.inputs[f"st{j}_addr"].valid
-                and self.inputs[f"st{j}_data"].valid
-            ):
+            if addr_chs[j].valid and data_chs[j].valid:
                 granted.append(j)
         return granted
 
     def propagate(self) -> None:
+        if self._ld_addr_chs is None:
+            self._bind()
         for i in self._granted_loads():
-            self.drive_ready(f"ld{i}_addr", True)
+            self._ld_addr_chs[i].ready = True
         for j in self._granted_stores():
-            self.drive_ready(f"st{j}_addr", True)
-            self.drive_ready(f"st{j}_data", True)
+            self._st_addr_chs[j].ready = True
+            self._st_data_chs[j].ready = True
+        data_chs = self._ld_data_chs
         for i in range(self.n_loads):
             queue = self._responses[i]
             if queue and queue[0][0] <= 0:
-                self.drive_out(f"ld{i}_data", queue[0][1])
+                out_ch = data_chs[i]
+                out_ch.valid = True
+                out_ch.data = queue[0][1]
 
-    def tick(self) -> None:
-        # Deliver matured responses.
+    def tick(self):
+        if self._ld_addr_chs is None:
+            self._bind()
+        changed = False
+        # Deliver matured responses and age the latency pipeline.
         for i in range(self.n_loads):
             queue = self._responses[i]
-            if queue and queue[0][0] <= 0 and self.outputs[f"ld{i}_data"].fires:
+            if not queue:
+                continue
+            out_ch = self._ld_data_chs[i]
+            if queue[0][0] <= 0 and out_ch.valid and out_ch.ready:
                 queue.popleft()
                 self.completed_loads += 1
+                changed = True
+            head = queue[0] if queue else None
             for item in queue:
                 if item[0] > 0:
                     item[0] -= 1
+                    if item is head and item[0] <= 0:
+                        # The head response matured: next cycle's propagate
+                        # starts driving the port's output valid.
+                        changed = True
         # Accept granted loads.
         for i in range(self.n_loads):
-            ch = self.inputs[f"ld{i}_addr"]
-            if ch.fires:
+            ch = self._ld_addr_chs[i]
+            if ch.valid and ch.ready:
                 addr = int(ch.data.value)
                 value = self.memory.load(self.array, addr)
                 token = combine(value, ch.data)
                 token.version = self.memory.version
                 self._responses[i].append([self.load_latency - 1, token])
                 self._rr_load = (i + 1) % self.n_loads
+                changed = True
                 if i in self._load_domains:
                     self.load_progress[i] = ch.data.tag(self._load_domains[i])
         # Commit granted stores.
         for j in range(self.n_stores):
-            addr_ch = self.inputs[f"st{j}_addr"]
-            data_ch = self.inputs[f"st{j}_data"]
-            if addr_ch.fires and data_ch.fires:
+            addr_ch = self._st_addr_chs[j]
+            data_ch = self._st_data_chs[j]
+            if (
+                addr_ch.valid and addr_ch.ready
+                and data_ch.valid and data_ch.ready
+            ):
                 tags = merge_tags([addr_ch.data, data_ch.data])
                 self.memory.store(
                     self.array, int(addr_ch.data.value), data_ch.data.value, tags
                 )
                 self.committed_stores += 1
                 self._rr_store = (j + 1) % self.n_stores
+                changed = True
                 if j in self._store_domains:
                     self.store_progress[j] = addr_ch.data.tag(
                         self._store_domains[j]
                     )
+        # Grant-side state (_rr_*) only moves when a port fired, and a
+        # fired port's input channel always changes next cycle (its
+        # producer consumed a token), re-waking this controller — so
+        # ``changed`` is an accurate report for the incremental engine.
+        return changed
 
     def set_port_domain(self, kind: str, port: int, domain: int) -> None:
         """Register the squash domain of a port (PreVV wiring only)."""

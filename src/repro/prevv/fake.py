@@ -24,20 +24,29 @@ class PairPacker(Component):
     """Join index and value into a ``(index, value)`` P-packet."""
 
     resource_class = "pair_packer"
+    scheduling_contract_audited = True
 
     def __init__(self, name: str, width: int = 32):
         super().__init__(name)
         self.width = width
+        self._cache = [None, None, None]  # [index tok, value tok, packed]
 
     def propagate(self) -> None:
         idx_ch = self.inputs["index"]
         val_ch = self.inputs["value"]
         if not (idx_ch.valid and val_ch.valid):
             return
-        packed = combine(
-            (idx_ch.data.value, val_ch.data.value), idx_ch.data, val_ch.data
-        )
-        packed.version = val_ch.data.version
+        cache = self._cache
+        if cache[0] is idx_ch.data and cache[1] is val_ch.data:
+            packed = cache[2]
+        else:
+            packed = combine(
+                (idx_ch.data.value, val_ch.data.value), idx_ch.data, val_ch.data
+            )
+            packed.version = val_ch.data.version
+            cache[0] = idx_ch.data
+            cache[1] = val_ch.data
+            cache[2] = packed
         self.drive_out("out", packed)
         if self.out_ready("out"):
             self.drive_ready("index", True)
@@ -52,15 +61,21 @@ class FakeTokenGenerator(Component):
     """Emit a ``("fake",)`` packet per incoming (not-taken) control token."""
 
     resource_class = "fake_gen"
+    scheduling_contract_audited = True
 
     def __init__(self, name: str):
         super().__init__(name)
         self.generated = 0
+        self._cache = [None, None]  # [input token, fake packet]
 
     def propagate(self) -> None:
         if self.in_valid("in"):
             token = self.in_token("in")
-            self.drive_out("out", token.with_value(("fake",)))
+            cache = self._cache
+            if cache[0] is not token:
+                cache[0] = token
+                cache[1] = token.with_value(("fake",))
+            self.drive_out("out", cache[1])
             self.drive_ready("in", self.out_ready("out"))
 
     def tick(self):
@@ -73,15 +88,21 @@ class DoneTokenGenerator(Component):
     """Emit a ``("done",)`` packet per incoming loop-nest exit token."""
 
     resource_class = "fake_gen"
+    scheduling_contract_audited = True
 
     def __init__(self, name: str):
         super().__init__(name)
         self.generated = 0
+        self._cache = [None, None]  # [input token, done packet]
 
     def propagate(self) -> None:
         if self.in_valid("in"):
             token = self.in_token("in")
-            self.drive_out("out", token.with_value(("done",)))
+            cache = self._cache
+            if cache[0] is not token:
+                cache[0] = token
+                cache[1] = token.with_value(("done",))
+            self.drive_out("out", cache[1])
             self.drive_ready("in", self.out_ready("out"))
 
     def tick(self):

@@ -12,15 +12,26 @@ head/tail pointers.  The three states of Fig. 4 are observable:
 The queue stores the four labels of Eq. (1) per slot; validated entries
 leave from the head ("each time an operation in the queue is validated,
 the head pointer moves one position forward"), squashed entries are
-excised in place.
+excised in place — the head pointer never moves backward, so the
+wrap-around state of Fig. 4(b) survives a squash exactly as the
+hardware's pointers would.
+
+Alongside the ring, the queue maintains an index→entries map (the
+software analogue of partitioning disambiguation state by address, as
+R-HLS does) so the arbiter's Eq. (2)-(5) search touches only the entries
+that share the validated operation's index instead of scanning the whole
+queue.  Every list in the map is kept in head→tail (program) order.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from ..errors import QueueOverflowError
 from .properties import PTuple
+
+#: Shared empty result for :meth:`PrematureQueue.entries_for` misses.
+_NO_ENTRIES: List[PTuple] = []
 
 
 class PrematureQueue:
@@ -45,6 +56,10 @@ class PrematureQueue:
         self._head = 0  # oldest stored operation
         self._tail = 0  # next free slot
         self._count = 0
+        # index -> stored records with that index, in head→tail order.
+        # Maintained incrementally by push/pop_head and rebuilt on the
+        # (rare) squash path so entries_for() is O(matching entries).
+        self._by_index: Dict[int, List[PTuple]] = {}
         # Statistics for the evaluation harness.
         self.max_occupancy = 0
         self.total_pushes = 0
@@ -93,7 +108,13 @@ class PrematureQueue:
         self._tail = (self._tail + 1) % self.physical_depth
         self._count += 1
         self.total_pushes += 1
-        self.max_occupancy = max(self.max_occupancy, self._count)
+        if self._count > self.max_occupancy:
+            self.max_occupancy = self._count
+        lst = self._by_index.get(record.index)
+        if lst is None:
+            self._by_index[record.index] = [record]
+        else:
+            lst.append(record)
 
     def pop_head(self) -> PTuple:
         """Validate/retire the oldest entry (head pointer advances)."""
@@ -103,6 +124,20 @@ class PrematureQueue:
         self._slots[self._head] = None
         self._head = (self._head + 1) % self.physical_depth
         self._count -= 1
+        lst = self._by_index.get(record.index)
+        if lst is not None:
+            # The head is the globally oldest record, hence the oldest of
+            # its index list too; fall back to an identity scan so a
+            # mutated record can never corrupt the map.
+            if lst and lst[0] is record:
+                del lst[0]
+            else:  # pragma: no cover - defensive
+                for k, entry in enumerate(lst):
+                    if entry is record:
+                        del lst[k]
+                        break
+            if not lst:
+                del self._by_index[record.index]
         return record
 
     def entries(self) -> Iterator[PTuple]:
@@ -112,24 +147,60 @@ class PrematureQueue:
             if slot is not None:
                 yield slot
 
+    def entries_for(self, index: int) -> List[PTuple]:
+        """Stored records sharing ``index``, in head→tail order.
+
+        The Eq. (2)-(5) search set: validation only ever compares against
+        same-index entries, so the arbiter asks for exactly this list
+        instead of scanning :meth:`entries`.  Callers must not mutate it.
+        """
+        return self._by_index.get(index, _NO_ENTRIES)
+
     def peek_head(self) -> Optional[PTuple]:
         return self._slots[self._head] if self._count else None
 
     def remove_if(self, predicate: Callable[[PTuple], bool]) -> int:
-        """Excise matching entries, compacting toward the head.
+        """Excise matching entries, compacting in place toward the head.
 
         Used on squash: entries belonging to flushed iterations vanish.
-        Returns the number removed.
+        Survivors shift toward the head *within the ring* — the head
+        pointer itself never moves, so a wrapped queue (Fig. 4b) keeps its
+        wrap-around layout and the hardware-observable pointer state
+        machine is preserved.  The index map is rebuilt from the
+        compacted ring.  Returns the number removed.
         """
-        kept = [r for r in self.entries() if not predicate(r)]
-        removed = self._count - len(kept)
-        if removed:
-            self._slots = [None] * self.physical_depth
-            self._head = 0
-            self._tail = len(kept) % self.physical_depth
-            for k, record in enumerate(kept):
-                self._slots[k] = record
-            self._count = len(kept)
+        count = self._count
+        if count == 0:
+            return 0
+        phys = self.physical_depth
+        slots = self._slots
+        head = self._head
+        # Decide fates first so a throwing predicate cannot corrupt state.
+        doomed = [
+            predicate(slots[(head + k) % phys]) for k in range(count)
+        ]
+        removed = sum(doomed)
+        if not removed:
+            return 0
+        write = head
+        by_index: Dict[int, List[PTuple]] = {}
+        for k, drop in enumerate(doomed):
+            if drop:
+                continue
+            record = slots[(head + k) % phys]
+            slots[write] = record
+            write = (write + 1) % phys
+            lst = by_index.get(record.index)
+            if lst is None:
+                by_index[record.index] = [record]
+            else:
+                lst.append(record)
+        self._count = count - removed
+        self._tail = write
+        self._by_index = by_index
+        for _ in range(removed):
+            slots[write] = None
+            write = (write + 1) % phys
         return removed
 
     def record_full_stall(self) -> None:

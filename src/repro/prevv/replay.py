@@ -49,6 +49,7 @@ class DomainGate(Component):
     """
 
     resource_class = "replay_gate"
+    scheduling_contract_audited = True
 
     def __init__(self, name: str, domain: int, width: int = 32):
         super().__init__(name)
@@ -59,6 +60,14 @@ class DomainGate(Component):
         self._stored: List[List[Tuple[int, Token]]] = []
         self._replay: List[Deque[Tuple[int, Token]]] = []
         self.replayed_tokens = 0
+        # Per lane: [source token, iteration, tagged token] — with_tag is
+        # pure, so the tagged token is rebuilt only when the (immutable)
+        # source token or the iteration changes.  Keeping the output
+        # token's identity stable across fixpoint evaluations also lets
+        # the engine's change detection skip downstream re-evaluation.
+        self._tag_cache: List[list] = []
+        self._in_chs = None  # lane channel lists, bound after wiring
+        self._out_chs = None
 
     # ------------------------------------------------------------------
     def add_channel(self) -> int:
@@ -68,6 +77,9 @@ class DomainGate(Component):
         self._next_iter.append(0)
         self._stored.append([])
         self._replay.append(deque())
+        self._tag_cache.append([None, -1, None])
+        self._in_chs = None  # wiring changed: rebind lazily
+        self._out_chs = None
         return idx
 
     def in_port(self, i: int) -> str:
@@ -76,39 +88,65 @@ class DomainGate(Component):
     def out_port(self, i: int) -> str:
         return f"out{i}"
 
+    def _bind(self):
+        self._in_chs = [
+            self.inputs[f"in{i}"] for i in range(self.n_channels)
+        ]
+        self._out_chs = [
+            self.outputs[f"out{i}"] for i in range(self.n_channels)
+        ]
+        return self._in_chs
+
+    def _tagged(self, lane: int, token: Token, iteration: int) -> Token:
+        cell = self._tag_cache[lane]
+        if cell[0] is token and cell[1] == iteration:
+            return cell[2]
+        tagged = token.with_tag(self.domain, iteration)
+        cell[0] = token
+        cell[1] = iteration
+        cell[2] = tagged
+        return tagged
+
     # ------------------------------------------------------------------
     def propagate(self) -> None:
+        ins = self._in_chs or self._bind()
+        outs = self._out_chs
         for i in range(self.n_channels):
-            if self._replay[i]:
-                iteration, token = self._replay[i][0]
-                self.drive_out(
-                    self.out_port(i), token.with_tag(self.domain, iteration)
-                )
+            out_ch = outs[i]
+            replay = self._replay[i]
+            if replay:
+                iteration, token = replay[0]
+                out_ch.valid = True
+                out_ch.data = self._tagged(i, token, iteration)
                 continue  # hold new input on this lane while replaying
-            in_ch = self.inputs[self.in_port(i)]
+            in_ch = ins[i]
             if in_ch.valid:
-                self.drive_out(
-                    self.out_port(i),
-                    in_ch.data.with_tag(self.domain, self._next_iter[i]),
-                )
-                self.drive_ready(
-                    self.in_port(i), self.outputs[self.out_port(i)].ready
-                )
+                out_ch.valid = True
+                out_ch.data = self._tagged(i, in_ch.data, self._next_iter[i])
+                if out_ch.ready:
+                    in_ch.ready = True
 
-    def tick(self) -> None:
+    def tick(self):
+        ins = self._in_chs or self._bind()
+        outs = self._out_chs
+        changed = False
         for i in range(self.n_channels):
-            fired = self.outputs[self.out_port(i)].fires
-            if not fired:
+            out_ch = outs[i]
+            if not (out_ch.valid and out_ch.ready):
                 continue
+            # Lane state only ever moves on an output fire: either a
+            # replayed entry is consumed or a live token is stored and the
+            # iteration counter advances.
+            changed = True
             if self._replay[i]:
                 self._replay[i].popleft()
                 self.replayed_tokens += 1
                 continue
-            if self.inputs[self.in_port(i)].fires:
-                self._stored[i].append(
-                    (self._next_iter[i], self.inputs[self.in_port(i)].data)
-                )
+            in_ch = ins[i]
+            if in_ch.valid and in_ch.ready:
+                self._stored[i].append((self._next_iter[i], in_ch.data))
                 self._next_iter[i] += 1
+        return changed
 
     # ------------------------------------------------------------------
     # Squash / retirement interface (driven by the controller)

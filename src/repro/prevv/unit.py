@@ -52,6 +52,13 @@ class PreVVUnit(Component):
     """Premature-value-validation unit for one ambiguous group."""
 
     resource_class = "prevv_unit"
+    # Scheduling contract: the unit is a pure consumer — it has no output
+    # channels at all, so no input valid can ever be carried to an output
+    # valid (the valid wave terminates here) and there is no output ready
+    # to observe.  Input valids/data steer only the readies it grants.
+    forwards_valid = False
+    observes_output_ready = False
+    scheduling_contract_audited = True
 
     def __init__(
         self,
@@ -99,6 +106,18 @@ class PreVVUnit(Component):
         self.fake_tokens = 0
         self.processed_ops = 0
         self._port_chs = None  # lazy (port_idx, channel) list, wiring-static
+        # Per-channel decode cache: id(channel) -> [token, decoded record].
+        # A channel offers one token until it fires, but the fixpoint
+        # engine may evaluate _accepts many times per cycle — decode once
+        # per *token* (identity-keyed; tokens are immutable) and reuse the
+        # record at the clock edge too.
+        self._dcache: Dict[int, list] = {}
+        # Cached result of _next_processable(), invalidated whenever its
+        # inputs (_pending contents, _expected) change: arrivals,
+        # processing, squash.  is_busy polls every quiet cycle; without
+        # the cache each poll rescans every port's pending dict.
+        self._np_result: Optional[Tuple[int, PTuple]] = None
+        self._np_valid = False
 
     # ------------------------------------------------------------------
     # Elastic interface
@@ -147,7 +166,7 @@ class PreVVUnit(Component):
             # granting earlier in the fixpoint would bypass the window
             # checks below (ready is monotone and cannot be retracted).
             return False
-        record = self._decode(port_idx, ch.data)
+        record = self._decode_cached(port_idx, ch)
         expected = self._expected[port_idx]
         window_top = expected + self.reorder_window
         if not record.done and record.iteration >= window_top:
@@ -186,17 +205,19 @@ class PreVVUnit(Component):
         if version is not None and version > self._last_version[port_idx]:
             self._last_version[port_idx] = version
 
-    def tick(self) -> None:
+    def tick(self):
         # 0. Account backpressure once per cycle at the clock edge (doing
         # it in propagate would tie the statistic to the fixpoint engine's
         # evaluation count).
         if self.queue.is_full:
             self.queue.record_full_stall()
+        changed = False
         # 1. Pull arrivals into the reorder buffers.
         for i, ch in self._port_channels():
             if ch.fires:
-                record = self._decode(i, ch.data)
+                record = self._decode_cached(i, ch)
                 self._pending[i][record.iteration] = record
+                changed = True
                 if not record.fake and not record.done:
                     if record.iteration > self._last_real_iter[i]:
                         self._last_real_iter[i] = record.iteration
@@ -206,6 +227,8 @@ class PreVVUnit(Component):
         # consume validation slots.
         budget = self.validations_per_cycle
         marker_budget = 4 * max(1, len(self.ports))
+        if changed:
+            self._np_valid = False
         while budget > 0 and marker_budget > 0:
             choice = self._next_processable()
             if choice is None:
@@ -216,21 +239,50 @@ class PreVVUnit(Component):
             else:
                 budget -= 1
             del self._pending[port_idx][record.iteration]
+            changed = True
             squashed_self = self._process(port_idx, record)
             if not squashed_self:
                 if record.done:
                     self._expected[port_idx] = ITER_DONE
                 else:
                     self._expected[port_idx] = record.iteration + 1
+            self._np_valid = False
             if squashed_self:
                 break
         # 3. Retire entries no future arrival can accuse.
-        self._retire()
+        if self._retire():
+            changed = True
+        # Change report for the incremental engine: everything the
+        # propagate above reads (_pending sizes, _expected, queue
+        # occupancy/fullness) only moves through the branches that set
+        # ``changed``; squash-path mutations happen in the controller's
+        # end-of-cycle hook, which independently forces a full sweep.
+        return changed
 
     # ------------------------------------------------------------------
     # Decoding / ordering
     # ------------------------------------------------------------------
+    def _decode_cached(self, port_idx: int, ch) -> PTuple:
+        """Decode the channel's offered token at most once.
+
+        Identity-keyed: tokens are immutable and a channel holds one token
+        object until it fires, so ``cell[0] is token`` proves the cached
+        record is the decode of exactly this offer.  A squash replaces the
+        offered token object (or re-offers the same immutable token, whose
+        decode is identical), so no explicit invalidation is needed.
+        """
+        token = ch.data
+        cell = self._dcache.get(id(ch))
+        if cell is not None and cell[0] is token:
+            return cell[1]
+        record = self._decode(port_idx, token)
+        self._dcache[id(ch)] = [token, record]
+        return record
+
     def _decode(self, port_idx: int, token: Token) -> PTuple:
+        # The record aliases the token's tag dict instead of copying it:
+        # tokens are immutable and nothing mutates PTuple.tags, the squash
+        # predicate only reads it.
         cfg = self.ports[port_idx]
         payload = token.value
         iteration = token.tag(cfg.domain)
@@ -238,7 +290,7 @@ class PreVVUnit(Component):
             return PTuple(
                 op="fake", index=-1, value=0, phase=cfg.phase,
                 iteration=iteration, rom_pos=cfg.rom_pos, domain=cfg.domain,
-                port=port_idx, fake=True, tags=dict(token.tags),
+                port=port_idx, fake=True, tags=token.tags,
             )
         if isinstance(payload, tuple) and payload and payload[0] == "done":
             # The exit token's tag is the last executed iteration; the done
@@ -248,17 +300,24 @@ class PreVVUnit(Component):
                 op="done", index=-1, value=0, phase=cfg.phase,
                 iteration=iteration + 1, rom_pos=cfg.rom_pos,
                 domain=cfg.domain, port=port_idx, done=True,
-                tags=dict(token.tags),
+                tags=token.tags,
             )
         index, value = payload
         return PTuple(
             op=cfg.kind, index=int(index), value=value, phase=cfg.phase,
             iteration=iteration, rom_pos=cfg.rom_pos, domain=cfg.domain,
-            port=port_idx, version=token.version, tags=dict(token.tags),
+            port=port_idx, version=token.version, tags=token.tags,
         )
 
     def _next_processable(self) -> Optional[Tuple[int, PTuple]]:
-        """Oldest (by program position) pending record at its port's turn."""
+        """Oldest (by program position) pending record at its port's turn.
+
+        Cached between calls: the result depends only on ``_pending`` and
+        ``_expected``, so it is recomputed only after an arrival, a
+        processed record, or a squash invalidated it (``_np_valid``).
+        """
+        if self._np_valid:
+            return self._np_result
         best: Optional[Tuple[int, PTuple]] = None
         for i, pending in enumerate(self._pending):
             record = pending.get(self._expected[i])
@@ -273,6 +332,8 @@ class PreVVUnit(Component):
                 continue
             if best is None or record.position < best[1].position:
                 best = (i, record)
+        self._np_result = best
+        self._np_valid = True
         return best
 
     # ------------------------------------------------------------------
@@ -310,7 +371,9 @@ class PreVVUnit(Component):
         return squashed
 
     def _same_index(self, record: PTuple):
-        return [e for e in self.queue.entries() if e.index == record.index]
+        # O(matching entries): the queue maintains the index→entries map
+        # incrementally; the list is already in head→tail order.
+        return self.queue.entries_for(record.index)
 
     def _validate_store(self, store: PTuple) -> bool:
         """Arriving store: accuse younger queued ops that used stale data."""
@@ -483,15 +546,17 @@ class PreVVUnit(Component):
             self._port_version_bound(i) for i in range(len(self.ports))
         )
 
-    def _retire(self) -> None:
+    def _retire(self) -> bool:
+        """Retire validated head entries; True when anything was popped."""
         if self.controller.has_pending_squash():
             # A violation was detected this cycle and its squash executes
             # at the clock edge; retiring (and advancing retire points) now
             # could prune the very replay state the squash needs.
-            return
+            return False
         self._resolve_pending_versions()
         watermark = self._watermark()
         min_version = self._min_version()
+        popped = False
         # Head-only retirement, exactly as Fig. 4 describes: "each time an
         # operation in the queue is validated, the head pointer moves one
         # position forward". Entries stuck behind a not-yet-validated head
@@ -506,11 +571,13 @@ class PreVVUnit(Component):
             if not retirable:
                 break
             self.queue.pop_head()
+            popped = True
         for domain in set(cfg.domain for cfg in self.ports):
             point = self.retire_point_for(domain)
             if point > self._notified_points.get(domain, -1):
                 self._notified_points[domain] = point
                 self.controller.notify_retired(domain, point)
+        return popped
 
     def touches_domain(self, domain: int) -> bool:
         return any(cfg.domain == domain for cfg in self.ports)
@@ -547,6 +614,7 @@ class PreVVUnit(Component):
     # Squash interface
     # ------------------------------------------------------------------
     def on_squash(self, domain: int, min_iter: int) -> None:
+        self._np_valid = False
         if self._notified_points.get(domain, -1) > min_iter:
             self._notified_points[domain] = min_iter
         self.queue.remove_if(

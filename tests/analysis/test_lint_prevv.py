@@ -124,6 +124,55 @@ class TestDimensionReduction:
         assert report.ok
 
 
+class TestSchedulingContractAudit:
+    def test_pv207_unaudited_component_class_is_error(self):
+        from repro.dataflow.component import Component
+
+        class UnauditedThing(Component):
+            pass
+
+        fn, config, build = compiled("fig2a")
+        build.circuit.add(UnauditedThing("rogue"))
+        report = lint_build(build, fn=fn, config=config)
+        pv207 = report.by_code("PV207")
+        assert len(pv207) == 1
+        assert pv207[0].severity is Severity.ERROR
+        assert "UnauditedThing" in pv207[0].message
+        assert not report.ok
+
+    def test_pv207_flags_each_class_once(self):
+        from repro.dataflow.component import Component
+
+        class UnauditedThing(Component):
+            pass
+
+        fn, config, build = compiled("fig2a")
+        build.circuit.add(UnauditedThing("rogue1"))
+        build.circuit.add(UnauditedThing("rogue2"))
+        report = lint_build(build, fn=fn, config=config)
+        assert len(report.by_code("PV207")) == 1
+
+    def test_pv207_silent_on_non_prevv_builds(self):
+        from repro.dataflow.component import Component
+
+        class UnauditedThing(Component):
+            pass
+
+        config = HardwareConfig(memory_style="dynamatic")
+        kernel = get_kernel("fig2a")
+        fn = kernel.build_ir()
+        build = compile_function(fn, config, args=kernel.args)
+        build.circuit.add(UnauditedThing("rogue"))
+        report = lint_build(build, fn=fn, config=config)
+        assert report.by_code("PV207") == []
+
+    @pytest.mark.parametrize("kernel", ["fig2a", "2mm", "gaussian"])
+    def test_builder_output_is_fully_audited(self, kernel):
+        fn, config, build = compiled(kernel)
+        report = lint_build(build, fn=fn, config=config)
+        assert report.by_code("PV207") == [], report.format()
+
+
 class TestFakeAndDoneCoverage:
     def test_pv105_missing_fake_path(self):
         # 2mm's first port is conditionally skipped and carries a fake

@@ -27,6 +27,7 @@ from repro.dataflow import (
     TransparentBuffer,
     TransparentFifo,
 )
+from repro.config import HardwareConfig
 from repro.eval.configs import ALL_CONFIGS
 from repro.eval.runner import make_done_condition
 from repro.kernels import get_kernel
@@ -68,6 +69,89 @@ def test_kernel_grid_bit_identical(kernel_name, config):
     fast = _run(Simulator, kernel_name, config, collect_stats=False)
     assert classic == reference
     assert fast == reference
+
+
+# PreVV-specific stress points: a depth-1 queue maximizes backpressure
+# and retirement churn, a single validation slot per cycle maximizes the
+# arbiter's pending backlog, and gaussian/triangular are the high-squash
+# kernels (real RAW violations -> squash/replay traffic).  These pin the
+# PreVV fast paths (indexed arbiter search, decode cache, cached head
+# candidate, accurate tick reports) bit-identically to the seed engine,
+# including the *internal* validation verdict counters, not just the
+# architectural outcome.
+PREVV_STRESS_CONFIGS = [
+    HardwareConfig(name="prevv_d1", memory_style="prevv", prevv_depth=1),
+    HardwareConfig(
+        name="prevv_v1",
+        memory_style="prevv",
+        prevv_depth=16,
+        prevv_validations_per_cycle=1,
+    ),
+    HardwareConfig(
+        name="prevv_d1_v1",
+        memory_style="prevv",
+        prevv_depth=1,
+        prevv_validations_per_cycle=1,
+    ),
+]
+
+PREVV_STRESS_KERNELS = ["gaussian", "triangular"]
+
+
+def _run_prevv(sim_cls, kernel_name, config, **sim_kwargs):
+    kernel = get_kernel(kernel_name, **SIZES[kernel_name])
+    build = compile_function(
+        kernel.build_ir(), config, args=kernel.args
+    )
+    build.memory.initialize(kernel.memory_init)
+    sim = sim_cls(build.circuit, max_cycles=500_000, **sim_kwargs)
+    sim.end_of_cycle_hooks.append(build.squash_controller.end_of_cycle)
+    stats = sim.run(make_done_condition(build))
+    ctrl = build.squash_controller
+    violations = {"raw": 0, "war": 0, "waw": 0}
+    benign = 0
+    for unit in build.units:
+        for kind, count in unit.violations_by_kind.items():
+            violations[kind] += count
+        benign += unit.benign_reorders
+    return {
+        "cycles": stats.cycles,
+        "transfers": stats.transfers,
+        "squashes": ctrl.squashes,
+        "squashed_iterations": ctrl.squashed_iterations,
+        "violations_by_kind": violations,
+        "benign_reorders": benign,
+        "memory": build.memory.snapshot(),
+    }
+
+
+@pytest.mark.parametrize("kernel_name", PREVV_STRESS_KERNELS)
+@pytest.mark.parametrize(
+    "config", PREVV_STRESS_CONFIGS, ids=lambda c: c.name
+)
+def test_prevv_stress_grid_bit_identical(kernel_name, config):
+    reference = _run_prevv(ReferenceSimulator, kernel_name, config)
+    classic = _run_prevv(Simulator, kernel_name, config, collect_stats=True)
+    fast = _run_prevv(Simulator, kernel_name, config, collect_stats=False)
+    assert classic == reference
+    assert fast == reference
+    # The stress points must actually exercise the squash/replay path;
+    # otherwise this grid silently tests nothing.
+    if kernel_name == "gaussian":
+        assert reference["squashes"] > 0
+
+
+def test_prevv_stress_points_use_incremental_engine():
+    """Depth-1 / single-validation PreVV circuits must still satisfy the
+    incremental engine's acyclicity conditions — the grid above would
+    silently lose fast-path coverage otherwise."""
+    for config in PREVV_STRESS_CONFIGS:
+        kernel = get_kernel("gaussian", n=4)
+        build = compile_function(
+            kernel.build_ir(), config, args=kernel.args
+        )
+        sim = Simulator(build.circuit, collect_stats=False)
+        assert sim._use_incremental, config.name
 
 
 def test_fast_path_uses_incremental_engine():

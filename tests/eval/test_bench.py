@@ -1,0 +1,102 @@
+"""The simulator bench CLI: points, profiling, config gating, checking."""
+
+import pytest
+
+from repro.bench import (
+    bench_point,
+    check_against_baseline,
+    run_bench,
+)
+from repro.eval.configs import BY_NAME
+
+
+SMALL = {"n": 4}
+
+
+class TestBenchPoint:
+    def test_point_shape(self):
+        point = bench_point("polyn_mult", BY_NAME["dynamatic"], SMALL)
+        assert point["kernel"] == "polyn_mult"
+        assert point["config"] == "dynamatic"
+        assert point["cycles"] > 0
+        assert point["propagate_calls"] > 0
+        assert "profile" not in point
+
+    def test_profile_attribution(self):
+        plain = bench_point("polyn_mult", BY_NAME["prevv16"], SMALL)
+        point = bench_point(
+            "polyn_mult", BY_NAME["prevv16"], SMALL, profile=True
+        )
+        profile = point["profile"]
+        assert "PreVVUnit" in profile
+        # The meters must not perturb the simulation: same cycles, and
+        # the per-class eval counts must add up to the engine's total.
+        assert point["cycles"] == plain["cycles"]
+        assert point["propagate_calls"] == plain["propagate_calls"]
+        assert (
+            sum(s["propagate_calls"] for s in profile.values())
+            == point["propagate_calls"]
+        )
+        # Sorted by attributed wall time, descending.
+        walls = [s["wall_s"] for s in profile.values()]
+        assert walls == sorted(walls, reverse=True)
+
+
+class TestRunBench:
+    def test_config_filter(self):
+        result = run_bench(
+            quick=True, kernels=["polyn_mult"],
+            configs=["prevv16", "prevv64"],
+        )
+        assert result["configs"] == ["prevv16", "prevv64"]
+        assert {p["config"] for p in result["points"]} == {
+            "prevv16", "prevv64"
+        }
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError, match="unknown config"):
+            run_bench(quick=True, kernels=["polyn_mult"],
+                      configs=["prevv128"])
+
+
+class TestCheck:
+    def _payload(self, cycles=100, epc=50.0):
+        return {
+            "points": [
+                {
+                    "kernel": "k",
+                    "config": "c",
+                    "cycles": cycles,
+                    "propagate_calls_per_cycle": epc,
+                }
+            ]
+        }
+
+    def test_clean(self):
+        errors = check_against_baseline(self._payload(), self._payload())
+        assert errors == []
+
+    def test_cycle_mismatch_is_error(self):
+        errors = check_against_baseline(
+            self._payload(cycles=101), self._payload(cycles=100)
+        )
+        assert len(errors) == 1 and "cycles" in errors[0]
+
+    def test_effort_regression_is_error(self):
+        errors = check_against_baseline(
+            self._payload(epc=70.0), self._payload(epc=50.0)
+        )
+        assert len(errors) == 1 and "propagate_calls" in errors[0]
+
+    def test_filtered_run_checks_only_its_points(self):
+        baseline = self._payload()
+        baseline["points"].append(
+            {
+                "kernel": "k",
+                "config": "other",
+                "cycles": 1,
+                "propagate_calls_per_cycle": 1.0,
+            }
+        )
+        errors = check_against_baseline(self._payload(), baseline)
+        assert errors == []

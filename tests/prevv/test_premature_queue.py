@@ -74,6 +74,64 @@ class TestOperations:
         q.push(make_p(9))  # room reclaimed
         assert [e.iteration for e in q.entries()] == [0, 1, 9]
 
+    def test_remove_if_preserves_wrapped_state(self):
+        """Regression: a squash must not re-home a wrapped queue.
+
+        The head pointer never moves on a squash; survivors compact
+        toward the head *within the ring*, so the Fig. 4(b) wrap-around
+        layout — and every observable property of the pointer state
+        machine — survives exactly as the hardware's pointers would.
+        """
+        q = PrematureQueue(4)
+        for i in range(4):
+            q.push(make_p(i, index=i % 2))
+        q.pop_head()
+        q.pop_head()
+        q.push(make_p(4, index=0))  # tail wraps to slot 0
+        q.push(make_p(5, index=1))  # tail back at head: full + wrapped
+        assert q.is_wrapped and q.is_full
+        head_before = q.head
+        removed = q.remove_if(lambda e: e.iteration == 3)
+        assert removed == 1
+        # Pointer state machine: head pinned, tail walked back, layout
+        # still wrapped (survivor 5 compacts into the wrapped region).
+        assert q.head == head_before
+        assert q.is_wrapped
+        assert not q.is_full
+        assert [e.iteration for e in q.entries()] == [2, 4, 5]
+        # Index map stayed consistent with the compacted ring.
+        assert [e.iteration for e in q.entries_for(0)] == [2, 4]
+        assert [e.iteration for e in q.entries_for(1)] == [5]
+        # The freed slot is genuinely reusable and order is preserved.
+        q.push(make_p(6, index=0))
+        assert q.is_full
+        assert [e.iteration for e in q.entries()] == [2, 4, 5, 6]
+        assert q.pop_head().iteration == 2
+        assert [e.iteration for e in q.entries_for(0)] == [4, 6]
+
+    def test_remove_if_throwing_predicate_leaves_state_intact(self):
+        q = PrematureQueue(4)
+        for i in range(3):
+            q.push(make_p(i))
+
+        def boom(e):
+            raise RuntimeError("doctored predicate")
+
+        with pytest.raises(RuntimeError):
+            q.remove_if(boom)
+        assert q.occupancy == 3
+        assert [e.iteration for e in q.entries()] == [0, 1, 2]
+
+    def test_index_map_tracks_push_pop(self):
+        q = PrematureQueue(8)
+        for i in range(5):
+            q.push(make_p(i, index=i % 2))
+        assert [e.iteration for e in q.entries_for(0)] == [0, 2, 4]
+        assert [e.iteration for e in q.entries_for(1)] == [1, 3]
+        assert q.entries_for(7) == []
+        q.pop_head()
+        assert [e.iteration for e in q.entries_for(0)] == [2, 4]
+
     def test_statistics(self):
         q = PrematureQueue(2)
         q.push(make_p(0))

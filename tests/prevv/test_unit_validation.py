@@ -38,6 +38,7 @@ class Harness:
         token = Token((index, value), {0: iteration}, version)
         record = self.unit._decode(port, token)
         self.unit._pending[port][record.iteration] = record
+        self.unit._np_valid = False
         if not record.fake and not record.done:
             if record.iteration > self.unit._last_real_iter[port]:
                 self.unit._last_real_iter[port] = record.iteration
@@ -46,6 +47,7 @@ class Harness:
         token = Token(("fake",), {0: iteration})
         record = self.unit._decode(port, token)
         self.unit._pending[port][record.iteration] = record
+        self.unit._np_valid = False
 
     def drain(self, rounds=20):
         for _ in range(rounds):
@@ -56,6 +58,7 @@ class Harness:
                     break
                 i, rec = choice
                 del self.unit._pending[i][rec.iteration]
+                self.unit._np_valid = False
                 squashed = self.unit._process(i, rec)
                 if not squashed:
                     from repro.prevv.properties import ITER_DONE
