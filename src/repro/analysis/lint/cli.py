@@ -1,9 +1,18 @@
 """Command-line front end: ``python -m repro.lint <kernel> [options]``.
 
-Runs the full three-layer analysis over one registered kernel (or every
-kernel with ``all``) under a chosen hardware configuration, prints the
-report and exits non-zero when any error-severity diagnostic fired — so
-the linter slots directly into CI.
+Runs the full four-layer analysis over one registered kernel (or every
+kernel with ``all``) under a chosen hardware configuration and prints
+the report.  With ``--sanitize`` it additionally simulates the kernel
+under the PVSan sequential-consistency oracle and merges the dynamic
+findings into the same report.
+
+Exit codes (stable; CI keys off them):
+
+* ``0`` — clean: no diagnostic at warning severity or above;
+* ``1`` — at least one error-severity diagnostic, or the invocation
+  itself failed (unknown kernel, bad arguments);
+* ``2`` — warnings only: something deserves a look, nothing is wrong
+  enough to block.
 """
 
 from __future__ import annotations
@@ -15,7 +24,7 @@ from typing import List, Optional
 
 from ...config import MEMORY_STYLES, HardwareConfig
 from ...kernels import kernel_names
-from .diagnostics import CODES, Severity
+from .diagnostics import CODES, LintReport, Severity
 from .driver import lint_kernel
 from .registry import all_passes
 
@@ -24,8 +33,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description="Static analyzer for PreVV dataflow kernels: IR "
-        "well-formedness, circuit deadlock/token checks and PreVV "
-        "configuration audits.",
+        "well-formedness, circuit deadlock/token checks, PreVV "
+        "configuration audits and the PVSan disambiguation prover. "
+        "Exits 0 when clean, 1 on errors, 2 on warnings only.",
     )
     parser.add_argument(
         "kernel",
@@ -47,15 +57,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="premature-queue depth override (default: config default)",
     )
     parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="also simulate under the PVSan sequential-consistency "
+        "oracle and merge its findings into the report",
+    )
+    parser.add_argument(
+        "--max-cycles",
+        type=int,
+        default=2_000_000,
+        help="simulation budget for --sanitize (default: 2000000)",
+    )
+    parser.add_argument(
         "--min-severity",
         default="info",
         choices=[s.value for s in Severity],
         help="hide diagnostics below this severity (default: info)",
     )
     parser.add_argument(
+        "--format",
+        dest="fmt",
+        default="text",
+        choices=("text", "json"),
+        help="output format: human-readable text, or JSON Lines with "
+        "one diagnostic object per line (default: text)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
-        help="emit the report(s) as JSON instead of text",
+        help="emit the full report(s) as one JSON document "
+        "(legacy; prefer --format json)",
     )
     parser.add_argument(
         "--list-codes",
@@ -78,11 +109,33 @@ def _list_codes() -> str:
 
 
 def _list_passes() -> str:
-    lines = ["layer    pass                        codes"]
+    lines = ["layer     pass                          codes"]
     for pass_cls in all_passes():
         codes = ", ".join(pass_cls.codes)
-        lines.append(f"{pass_cls.layer:<7}  {pass_cls.name:<26}  {codes}")
+        lines.append(f"{pass_cls.layer:<8}  {pass_cls.name:<28}  {codes}")
     return "\n".join(lines)
+
+
+def _exit_code(reports: List[LintReport]) -> int:
+    """0 clean / 1 errors / 2 warnings-only, over all reports."""
+    if any(report.errors for report in reports):
+        return 1
+    if any(report.warnings for report in reports):
+        return 2
+    return 0
+
+
+def _emit_jsonl(
+    reports: List[LintReport], min_severity: Severity
+) -> None:
+    """One JSON object per diagnostic — greppable, CI-artifact friendly."""
+    for report in reports:
+        for diag in report.diagnostics:
+            if diag.severity < min_severity:
+                continue
+            record = {"subject": report.subject}
+            record.update(diag.to_dict())
+            print(json.dumps(record, sort_keys=True))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -107,17 +160,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     reports = []
     for name in names:
         try:
-            reports.append(lint_kernel(name, config))
+            report = lint_kernel(name, config)
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
-            return 2
+            return 1
+        if ns.sanitize and report.ok:
+            # lint_kernel already ran the static sanitize layer; append
+            # only the dynamic oracle findings to the same report.
+            from ...kernels import get_kernel
+            from ..sanitizer import sanitize_run
+
+            sanitize_run(
+                get_kernel(name),
+                config,
+                max_cycles=ns.max_cycles,
+                report=report,
+                static=False,
+            )
+        reports.append(report)
 
     if ns.json:
         print(json.dumps([r.to_dict() for r in reports], indent=2))
+    elif ns.fmt == "json":
+        _emit_jsonl(reports, min_severity)
     else:
         for report in reports:
             print(report.format(min_severity=min_severity))
-    return 0 if all(r.ok for r in reports) else 1
+    return _exit_code(reports)
 
 
 if __name__ == "__main__":  # pragma: no cover

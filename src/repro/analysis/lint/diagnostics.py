@@ -6,7 +6,9 @@ fix-it hint.  Codes are grouped by analysis layer:
 
 * ``PV0xx`` — IR well-formedness and memory hygiene;
 * ``PV1xx`` — circuit-graph structure (connectivity, deadlock, tokens);
-* ``PV2xx`` — PreVV configuration (queue sizing, pair cross-checks).
+* ``PV2xx`` — PreVV configuration (queue sizing, pair cross-checks);
+* ``PV3xx`` — PVSan: the static disambiguation prover and the dynamic
+  sequential-consistency oracle (:mod:`repro.analysis.sanitizer`).
 
 The full table lives in :data:`CODES`; emitting an unknown code is a
 programming error and raises immediately, which keeps the table exhaustive
@@ -79,6 +81,15 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "PV205": (Severity.WARNING, "premature-queue depth is not a power of two"),
     "PV206": (Severity.INFO, "dimension reduction collapsed overlapped pairs"),
     "PV207": (Severity.ERROR, "component class lacks an audited scheduling contract"),
+    # --- PVSan sanitizer layer (PV3xx) --------------------------------
+    "PV301": (Severity.INFO, "pair proven independent; its PreVV entry can be dropped"),
+    "PV302": (Severity.INFO, "loop-carried distance bounds the premature window"),
+    "PV303": (Severity.INFO, "pair stays unproven; arbiter required"),
+    "PV304": (Severity.ERROR, "prover claim contradicted by the interpreter trace"),
+    "PV305": (Severity.ERROR, "arbiter missed an ordering violation"),
+    "PV306": (Severity.ERROR, "arbiter squashed without an observable value mismatch"),
+    "PV307": (Severity.ERROR, "dimension reduction does not cover the ambiguous pairs"),
+    "PV308": (Severity.ERROR, "fake/real token retirement disagrees with program order"),
 }
 
 

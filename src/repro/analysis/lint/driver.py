@@ -10,6 +10,10 @@ Entry points by granularity:
 * :func:`lint_kernel` — compile a registered kernel under a config and
   lint the whole stack; stops after the IR layer when the IR itself is
   broken (nothing downstream is meaningful then).
+
+``lint_kernel`` also runs the PVSan *sanitize* layer: the kernel
+descriptor gives the sanitize passes the concrete scalar arguments and
+the interpreter golden run they validate prover claims against.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from .registry import LAYERS, LintContext, passes_for_layer
 from . import ir_passes  # noqa: F401
 from . import circuit_passes  # noqa: F401
 from . import prevv_passes  # noqa: F401
+from . import sanitizer_passes  # noqa: F401
 
 
 def run_passes(
@@ -105,7 +110,7 @@ def lint_kernel(name: str, config: HardwareConfig) -> LintReport:
     kernel = get_kernel(name)
     fn = kernel.build_ir()
     report = LintReport(subject=f"{name}[{config.memory_style}]")
-    ctx = LintContext(fn=fn, config=config, report=report)
+    ctx = LintContext(fn=fn, config=config, report=report, kernel=kernel)
     run_passes(ctx, layers=("ir",))
     if not report.ok:
         return report
@@ -115,11 +120,11 @@ def lint_kernel(name: str, config: HardwareConfig) -> LintReport:
         # The builder rejected the configuration outright (e.g. ambiguous
         # pairs under memory_style='none').  The PreVV-layer passes can
         # explain *why* without a circuit; re-raise if they cannot.
-        run_passes(ctx, layers=("prevv",))
+        run_passes(ctx, layers=("prevv", "sanitize"))
         if report.ok:
             raise
         return report
     ctx.circuit = build.circuit
     ctx.build = build
     ctx._analysis = build.analysis
-    return run_passes(ctx, layers=("circuit", "prevv"))
+    return run_passes(ctx, layers=("circuit", "prevv", "sanitize"))

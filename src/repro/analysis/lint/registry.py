@@ -18,7 +18,7 @@ from ...ir.loops import Loop, dominators, find_loops
 from .diagnostics import Diagnostic, LintReport, Severity, make_diagnostic
 
 #: analysis layers in the order the driver runs them.
-LAYERS = ("ir", "circuit", "prevv")
+LAYERS = ("ir", "circuit", "prevv", "sanitize")
 
 
 class LintContext:
@@ -38,11 +38,19 @@ class LintContext:
         config: Optional[HardwareConfig] = None,
         analysis=None,
         report: Optional[LintReport] = None,
+        kernel=None,
     ):
         self.fn = fn
         self.circuit = circuit
         self.build = build
         self.config = config
+        #: Kernel descriptor (args + inputs + golden run) for sanitize-layer
+        #: passes that validate static claims against the interpreter.
+        self.kernel = kernel
+        #: scratch space shared across passes of one run (e.g. the prover's
+        #: proofs, reused by the soundness cross-check).
+        self.cache: Dict = {}
+        self._golden = None
         #: MemoryAnalysis under audit.  For post-build linting this is the
         #: analysis the circuit was actually built from (``build.analysis``)
         #: so stale/doctored analyses are caught by the cross-check pass.
@@ -75,6 +83,27 @@ class LintContext:
 
             self._analysis = analyze_function(self.fn)
         return self._analysis
+
+    @property
+    def golden(self):
+        """Interpreter run of :attr:`kernel` (lazy; None without a kernel).
+
+        Interprets :attr:`fn` itself when present — trace events reference
+        instructions by identity, so the run must use the very Function
+        instance the passes inspect, not a rebuilt copy.
+        """
+        if self._golden is None and self.kernel is not None:
+            if self.fn is not None:
+                from ...ir.interpreter import run_golden
+
+                self._golden = run_golden(
+                    self.fn,
+                    args=self.kernel.args,
+                    memory=self.kernel.memory_init,
+                )
+            else:
+                self._golden = self.kernel.golden()
+        return self._golden
 
     # ------------------------------------------------------------------
     # Emission

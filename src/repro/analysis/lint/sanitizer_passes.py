@@ -1,0 +1,220 @@
+"""PVSan sanitize-layer lint passes (PV3xx, static side).
+
+Three passes over the dependence prover of
+:mod:`repro.analysis.sanitizer.prover`:
+
+* :class:`DependenceProverPass` — runs the prover and reports each
+  ambiguous pair's lattice point: PV301 (proven independent — the PreVV
+  entry is wasted hardware), PV302 (bounded distance — a premature-queue
+  depth tighter than the Eq. 6-10 sizing suffices), PV303 (unknown — the
+  arbiter really is needed).  All advisory (INFO).
+* :class:`ProverSoundnessPass` — PV304: re-derives the pair set from
+  :mod:`repro.analysis.ambiguous_pairs` and checks every independence or
+  distance claim against the interpreter's dynamic memory trace.  A
+  contradicted claim is a prover bug and an error: acting on it would
+  drop real ordering hardware.
+* :class:`PairCoveragePass` — PV307: the dimension-reduced groups the
+  circuit was *built* with must cover exactly the independently derived
+  pair set — no pair outside any group (a missed hazard) and no group
+  fusing operations that share no overlap chain (reduction applied to a
+  non-overlapped pair masks per-pair validation, Sec. V-B).
+
+The dynamic PV305/306/308 checks live in the SC oracle
+(:mod:`repro.analysis.sanitizer.oracle`), not in a lint pass: they need
+a cycle-level simulation run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..ambiguous_pairs import analyze_function
+from ..reduction import reduce_pairs
+from ..sizing import (
+    DEFAULT_P_SQUASH,
+    DEFAULT_T_ORG,
+    DEFAULT_T_TOKEN,
+    suggest_depth,
+)
+from .registry import LintContext, LintPass, register_pass
+
+
+def _pair_location(ctx: LintContext, pair) -> str:
+    return f"{ctx.fn.name}:{pair.array}:Am{{{pair.load.name},{pair.store.name}}}"
+
+
+def _proofs(ctx: LintContext):
+    """Prover results, computed once per lint run and cached on the ctx."""
+    if "pvsan_proofs" not in ctx.cache:
+        from ..sanitizer.prover import DependenceProver
+
+        args = dict(ctx.kernel.args) if ctx.kernel is not None else {}
+        prover = DependenceProver(ctx.fn, args)
+        ctx.cache["pvsan_proofs"] = prover.prove_all()
+    return ctx.cache["pvsan_proofs"]
+
+
+@register_pass
+class DependenceProverPass(LintPass):
+    """PV301/PV302/PV303: lattice classification of every ambiguous pair."""
+
+    name = "sanitize-dependence-prover"
+    layer = "sanitize"
+    codes = ("PV301", "PV302", "PV303")
+    requires = ("fn",)
+
+    def run(self, ctx: LintContext) -> None:
+        if ctx.has_ir_errors:
+            return
+        from ..sanitizer.prover import PairClass
+
+        eq_bound = suggest_depth(DEFAULT_T_ORG, DEFAULT_P_SQUASH, DEFAULT_T_TOKEN)
+        for proof in _proofs(ctx):
+            loc = _pair_location(ctx, proof.pair)
+            if proof.classification is PairClass.PROVEN_INDEPENDENT:
+                ctx.emit(
+                    "PV301",
+                    f"pair {proof.pair!r} can never alias ({proof.reason})",
+                    location=loc,
+                    hint="drop the pair from the PreVV group; its queue "
+                    "entries and validation slots are dead hardware",
+                )
+            elif proof.classification is PairClass.BOUNDED_DISTANCE:
+                ctx.emit(
+                    "PV302",
+                    f"pair {proof.pair!r} aliases only at activation "
+                    f"distance {proof.distance}; depth "
+                    f"{proof.depth_bound} suffices ({proof.reason})",
+                    location=loc,
+                    hint=f"prevv_depth={proof.depth_bound} is sufficient "
+                    f"for this group (Eqs. 6-10 suggest {eq_bound})",
+                )
+            else:
+                ctx.emit(
+                    "PV303",
+                    f"pair {proof.pair!r} stays unproven ({proof.reason})",
+                    location=loc,
+                    hint="value-based arbitration is required at runtime",
+                )
+
+
+@register_pass
+class ProverSoundnessPass(LintPass):
+    """PV304: every prover claim must survive the interpreter trace.
+
+    The trace is a *witness generator*: one execution with the kernel's
+    concrete arguments.  Any aliasing it exhibits that a claim rules out
+    disproves the claim outright (the prover reasons over exactly these
+    argument bindings).
+    """
+
+    name = "sanitize-prover-soundness"
+    layer = "sanitize"
+    codes = ("PV304",)
+    requires = ("fn", "kernel")
+
+    def run(self, ctx: LintContext) -> None:
+        if ctx.has_ir_errors:
+            return
+        from ..sanitizer.prover import PairClass
+
+        # Re-derive pairs independently instead of trusting the prover's
+        # own analysis object.
+        fresh = {
+            (p.load.name, p.store.name, p.array)
+            for p in analyze_function(ctx.fn).pairs
+        }
+        trace = ctx.golden.trace
+        for proof in _proofs(ctx):
+            pair = proof.pair
+            key = (pair.load.name, pair.store.name, pair.array)
+            if key not in fresh:
+                ctx.emit(
+                    "PV304",
+                    f"prover examined pair {pair!r} that the dependence "
+                    "analysis does not derive",
+                    location=_pair_location(ctx, pair),
+                    hint="stale MemoryAnalysis fed to the prover",
+                )
+                continue
+            if proof.classification is PairClass.UNKNOWN:
+                continue
+            load_events = trace.for_inst(pair.load)
+            store_events = trace.for_inst(pair.store)
+            store_indices: Dict[int, List[int]] = {}
+            for ev in store_events:
+                store_indices.setdefault(ev.index, []).append(ev.iteration)
+            for ev in load_events:
+                hits = store_indices.get(ev.index)
+                if not hits:
+                    continue
+                if proof.classification is PairClass.PROVEN_INDEPENDENT:
+                    ctx.emit(
+                        "PV304",
+                        f"pair {pair!r} claimed proven-independent but the "
+                        f"trace aliases at index {ev.index}",
+                        location=_pair_location(ctx, pair),
+                        hint=f"prover reason was: {proof.reason}",
+                    )
+                    break
+                worst = max(abs(it - ev.iteration) for it in hits)
+                if worst > proof.distance:
+                    ctx.emit(
+                        "PV304",
+                        f"pair {pair!r} claimed distance <= "
+                        f"{proof.distance} but the trace aliases at "
+                        f"index {ev.index} across {worst} activations",
+                        location=_pair_location(ctx, pair),
+                        hint=f"prover reason was: {proof.reason}",
+                    )
+                    break
+
+
+@register_pass
+class PairCoveragePass(LintPass):
+    """PV307: built groups must cover exactly the derived pair set."""
+
+    name = "sanitize-pair-coverage"
+    layer = "sanitize"
+    codes = ("PV307",)
+    requires = ("fn", "build", "config")
+
+    def run(self, ctx: LintContext) -> None:
+        if ctx.has_ir_errors or ctx.config.memory_style != "prevv":
+            return
+        reference = reduce_pairs(analyze_function(ctx.fn))
+        ref_groups: Set[Tuple[str, FrozenSet[str]]] = {
+            (
+                g.array,
+                frozenset(op.name for op in g.loads)
+                | frozenset(op.name for op in g.stores),
+            )
+            for g in reference
+        }
+        built_groups: Set[Tuple[str, FrozenSet[str]]] = {
+            (
+                g.array,
+                frozenset(op.name for op in g.loads)
+                | frozenset(op.name for op in g.stores),
+            )
+            for g in ctx.build.groups
+        }
+        for array, ops in sorted(ref_groups - built_groups):
+            ctx.emit(
+                "PV307",
+                f"reduced group {{{', '.join(sorted(ops))}}}@{array} from "
+                "the dependence analysis has no matching built group",
+                location=f"circuit:{array}",
+                hint="a dropped member leaves its pair unvalidated; a "
+                "merged non-overlapped group masks per-pair validation "
+                "behind one representative (Sec. V-B)",
+            )
+        for array, ops in sorted(built_groups - ref_groups):
+            ctx.emit(
+                "PV307",
+                f"built group {{{', '.join(sorted(ops))}}}@{array} does "
+                "not match any group of the dependence analysis",
+                location=f"circuit:{array}",
+                hint="dimension reduction must collapse exactly the "
+                "overlap-connected components, nothing more",
+            )

@@ -1,0 +1,37 @@
+"""PVSan: static disambiguation prover + dynamic SC-oracle sanitizer.
+
+Two-sided correctness subsystem for the PreVV arbiter (ISSUE 5):
+
+* :mod:`intervals` / :mod:`prover` — the static side.  Loop-bound interval
+  analysis over the affine subscript facts of
+  :mod:`repro.analysis.polyhedral` upgrades each ambiguous pair to
+  *proven-independent*, *bounded-distance* (with a depth bound tighter
+  than the Eq. 6-10 sizing) or *unknown*.
+* :mod:`oracle` / :mod:`runner` — the dynamic side.  A shadow
+  sequential-consistency oracle replays the interpreter's program-order
+  memory trace alongside the cycle simulator and checks every arbiter
+  verdict: missed violations, spurious squashes, dimension-reduction
+  masking and fake-token retirements.
+
+Findings surface through the PV3xx codes of the lint framework
+(``python -m repro.lint --sanitize <kernel>``).
+"""
+
+from .intervals import IVBounds, derive_iv_bounds, next_pow2, range_of, resolve_syms
+from .oracle import SCOracle
+from .prover import DependenceProver, PairClass, PairProof
+from .runner import SanitizeResult, sanitize_run
+
+__all__ = [
+    "IVBounds",
+    "derive_iv_bounds",
+    "next_pow2",
+    "range_of",
+    "resolve_syms",
+    "DependenceProver",
+    "PairClass",
+    "PairProof",
+    "SCOracle",
+    "SanitizeResult",
+    "sanitize_run",
+]

@@ -1,0 +1,231 @@
+"""Loop-bound interval analysis for the dependence prover.
+
+The affine analysis (:mod:`repro.analysis.polyhedral`) gives each
+subscript as ``sum(c_k * iv_k) + sum(s_j * arg_j) + const`` but says
+nothing about the *range* each induction variable sweeps.  This module
+recovers that range for the canonical counted-loop shape the kernel
+builders emit (``for v = start; v cmp bound; v += step``) by pattern
+matching the header phi and the header branch, then folds the kernel's
+compile-time scalar arguments into every symbolic term.
+
+With concrete per-IV ranges an affine subscript evaluates to an integer
+interval (:func:`range_of`); two accesses whose intervals are disjoint
+can never alias, which is the prover's strongest weapon against pairs
+the plain GCD test cannot crack.
+
+Everything here is *best effort and sound*: any shape that does not
+match (unresolved symbolic bound, data-dependent step, rotated loop)
+simply yields no :class:`IVBounds` entry, and downstream classification
+falls back to *unknown* — never to a false independence claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ...ir.function import Function
+from ...ir.instructions import BinaryInst, BranchInst, PhiInst
+from ...ir.loops import Loop, find_loops
+from ...ir.values import Argument, ConstInt, Value
+from ..polyhedral import AffineExpr
+
+_FLIPPED = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le"}
+_NEGATED = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt"}
+
+
+@dataclass(frozen=True)
+class IVBounds:
+    """Concrete iteration range of one induction variable.
+
+    ``count`` is the number of body activations; the IV takes the values
+    ``start, start + step, ..., start + (count - 1) * step``.
+    """
+
+    phi: PhiInst
+    start: int
+    step: int
+    count: int
+
+    @property
+    def last(self) -> int:
+        return self.start + (self.count - 1) * self.step
+
+    @property
+    def lo(self) -> int:
+        return min(self.start, self.last)
+
+    @property
+    def hi(self) -> int:
+        return max(self.start, self.last)
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= max(n, 1) — queue depths are pow2-sized."""
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+def _fold(value: Value, args: Dict[str, int]) -> Optional[int]:
+    """Constant-fold ``value`` given the kernel's scalar arguments."""
+    if isinstance(value, ConstInt):
+        return value.value
+    if isinstance(value, Argument):
+        got = args.get(value.name)
+        return int(got) if got is not None else None
+    if isinstance(value, BinaryInst):
+        lhs = _fold(value.lhs, args)
+        rhs = _fold(value.rhs, args)
+        if lhs is None or rhs is None:
+            return None
+        if value.opcode == "add":
+            return lhs + rhs
+        if value.opcode == "sub":
+            return lhs - rhs
+        if value.opcode == "mul":
+            return lhs * rhs
+        if value.opcode == "shl":
+            return lhs << rhs
+    return None
+
+
+def _phi_start_step(
+    loop: Loop, phi: PhiInst, args: Dict[str, int]
+) -> Optional[Tuple[int, int]]:
+    """(start, step) of a counted-loop phi, or None when not that shape."""
+    start: Optional[int] = None
+    step: Optional[int] = None
+    for block, incoming in phi.incomings:
+        if block in loop.blocks:  # latch edge: the update expression
+            if not isinstance(incoming, BinaryInst):
+                return None
+            if incoming.opcode == "add":
+                if incoming.lhs is phi:
+                    delta = _fold(incoming.rhs, args)
+                elif incoming.rhs is phi:
+                    delta = _fold(incoming.lhs, args)
+                else:
+                    return None
+            elif incoming.opcode == "sub" and incoming.lhs is phi:
+                folded = _fold(incoming.rhs, args)
+                delta = -folded if folded is not None else None
+            else:
+                return None
+            if delta is None or delta == 0 or step is not None:
+                return None
+            step = delta
+        else:  # preheader edge: the start value
+            if start is not None:
+                return None
+            start = _fold(incoming, args)
+            if start is None:
+                return None
+    if start is None or step is None:
+        return None
+    return start, step
+
+
+def _trip_count(start: int, step: int, cmp: str, bound: int) -> Optional[int]:
+    """Body activations of ``for v = start; v cmp bound; v += step``."""
+    if cmp == "le":
+        bound, cmp = bound + 1, "lt"
+    elif cmp == "ge":
+        bound, cmp = bound - 1, "gt"
+    if cmp == "lt":
+        if step <= 0:
+            return None  # would not terminate via this exit; not our shape
+        return max(0, -((start - bound) // step))  # ceil((bound-start)/step)
+    if cmp == "gt":
+        if step >= 0:
+            return None
+        return max(0, -((bound - start) // -step))
+    return None
+
+
+def derive_iv_bounds(
+    fn: Function, args: Dict[str, int]
+) -> Dict[PhiInst, IVBounds]:
+    """IVBounds for every counted-loop induction phi that fully resolves.
+
+    Matches the canonical shape: a header phi with one out-of-loop start
+    incoming and one in-loop ``phi +/- const`` update, exited by a header
+    branch comparing the phi against a resolvable bound.  Loops whose
+    phis, steps or bounds cannot be folded to integers are skipped.
+    """
+    bounds: Dict[PhiInst, IVBounds] = {}
+    for loop in find_loops(fn):
+        term = loop.header.terminator
+        if not isinstance(term, BranchInst):
+            continue
+        cond = term.cond
+        if not isinstance(cond, BinaryInst) or cond.opcode not in _FLIPPED:
+            continue
+        for phi in loop.header.phis:
+            parsed = _phi_start_step(loop, phi, args)
+            if parsed is None:
+                continue
+            start, step = parsed
+            if cond.lhs is phi:
+                cmp, bound_val = cond.opcode, cond.rhs
+            elif cond.rhs is phi:
+                cmp, bound_val = _FLIPPED[cond.opcode], cond.lhs
+            else:
+                continue
+            # The comparison must hold on the *body* side of the branch.
+            if term.if_true in loop.blocks:
+                pass
+            elif term.if_false in loop.blocks:
+                cmp = _NEGATED[cmp]
+            else:
+                continue
+            bound = _fold(bound_val, args)
+            if bound is None:
+                continue
+            count = _trip_count(start, step, cmp, bound)
+            if count is None:
+                continue
+            bounds[phi] = IVBounds(phi, start, step, count)
+    return bounds
+
+
+def resolve_syms(
+    expr: AffineExpr, args: Dict[str, int]
+) -> Optional[AffineExpr]:
+    """Fold every symbolic (Argument) coefficient into the constant term.
+
+    Returns ``None`` when some argument has no binding — the caller must
+    then stay conservative.
+    """
+    const = expr.const
+    for sym, coeff in expr.sym_coeffs.items():
+        got = args.get(sym.name)
+        if got is None:
+            return None
+        const += coeff * int(got)
+    return AffineExpr(dict(expr.iv_coeffs), {}, const)
+
+
+def range_of(
+    expr: AffineExpr,
+    bounds: Dict[PhiInst, IVBounds],
+    args: Dict[str, int],
+) -> Optional[Tuple[int, int]]:
+    """Inclusive integer interval an affine subscript can evaluate to.
+
+    Requires every symbolic term to resolve and every IV to have derived
+    bounds with at least one activation; otherwise ``None``.
+    """
+    resolved = resolve_syms(expr, args)
+    if resolved is None:
+        return None
+    lo = hi = resolved.const
+    for phi, coeff in resolved.iv_coeffs.items():
+        ivb = bounds.get(phi)
+        if ivb is None or ivb.count <= 0:
+            return None
+        a, b = coeff * ivb.lo, coeff * ivb.hi
+        lo += min(a, b)
+        hi += max(a, b)
+    return lo, hi

@@ -1,0 +1,353 @@
+"""Shadow sequential-consistency oracle for the PreVV arbiter (PV3xx).
+
+The oracle replays the IR interpreter's program-order memory trace
+*alongside* the cycle simulation and checks every arbiter decision
+against it:
+
+* **PV305 — missed violation.**  A premature-queue entry retires (the
+  arbiter declares it valid) with an index or value different from what
+  the sequential program computes at that ``(static op, iteration)``
+  position; or an expected operation never retires; or the final memory
+  diverges from the interpreter's.
+* **PV306 — spurious squash.**  The arbiter declares an Eq. 2-5
+  violation although the two values it compared are equal — value-based
+  validation must treat matching values as benign (the paper's central
+  economy).
+* **PV308 — fake/real disagreement.**  A fake token (Sec. V-C) is
+  processed at a position where program order executes the operation, or
+  a real operation is processed at a position program order skips.
+
+Key insight of the protocol: premature execution makes *transiently*
+wrong values legal — a load may carry stale data until the store that
+proves it wrong arrives, and even a retired entry can be rolled back by
+a cross-domain squash cascade.  Findings are therefore **pending** until
+the end of the run, keyed by the accused record's speculation tags, and
+an executed squash that covers a finding *retracts* it (the machine
+corrected itself, which is exactly its contract).  Only squashes over
+equal values (PV306) are immediate: no later event can justify them.
+
+Position matching uses the pair ``(rom_pos, iteration)``: ``rom_pos`` is
+the operation's enumeration index in ``fn.memory_ops()`` (the same
+numbering the elastic builder bakes into each port's arbiter ROM) and
+``iteration`` is the innermost-loop activation index, which the
+interpreter tags onto trace events exactly as the
+:class:`~repro.prevv.replay.DomainGate` tags circuit tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...dataflow.tracing import OrderTrace
+from ...ir.function import Function
+from ...ir.interpreter import InterpResult
+from ..lint.diagnostics import LintReport, make_diagnostic
+
+Key = Tuple[int, int]  # (rom_pos, iteration)
+
+
+@dataclass
+class _Pending:
+    """A finding awaiting confirmation (retracted if a squash covers it)."""
+
+    code: str
+    message: str
+    location: str
+    hint: str
+    tags: Dict[int, int]
+    domain: int
+    iteration: int
+
+    def covered_by(self, targets: Dict[int, int]) -> bool:
+        for domain, min_iter in targets.items():
+            if self.tags.get(domain, -1) >= min_iter:
+                return True
+            if self.domain == domain and self.iteration >= min_iter:
+                return True
+        return False
+
+
+@dataclass
+class _Retired:
+    tags: Dict[int, int]
+    domain: int
+    iteration: int
+
+    covered_by = _Pending.covered_by
+
+
+class _QueueObserver:
+    """Per-unit adapter forwarding premature-queue events to the oracle."""
+
+    def __init__(self, oracle: "SCOracle", unit):
+        self.oracle = oracle
+        self.unit = unit
+
+    def on_retire(self, record) -> None:
+        self.oracle.on_retire(self.unit, record)
+
+    def on_excise(self, record) -> None:
+        self.oracle.trace.record(
+            "excise",
+            self.unit.name,
+            f"{record.op} idx={record.index} it={record.iteration} "
+            f"(squash flush)",
+        )
+
+
+class SCOracle:
+    """One sanitized run's worth of arbiter-vs-program-order checking."""
+
+    def __init__(
+        self,
+        fn: Function,
+        golden: InterpResult,
+        report: Optional[LintReport] = None,
+        trace: Optional[OrderTrace] = None,
+    ):
+        self.fn = fn
+        self.golden = golden
+        self.report = report if report is not None else LintReport(subject=fn.name)
+        self.trace = trace if trace is not None else OrderTrace()
+        # rom_pos numbering must mirror _wire_prevv_support exactly.
+        self._rom: Dict[int, int] = {
+            id(op): k for k, op in enumerate(fn.memory_ops())
+        }
+        #: (rom_pos, iteration) -> program-order TraceEvent
+        self._expected: Dict[Key, object] = {}
+        for event in golden.trace.events:
+            pos = self._rom.get(id(event.inst))
+            if pos is not None:
+                self._expected[(pos, event.iteration)] = event
+        self._port_rom: set = set()  # rom positions that are unit ports
+        self._pending: Dict[Tuple[str, Key], _Pending] = {}
+        self._retired: Dict[Key, _Retired] = {}
+        self._confirmed: List = []  # diagnostics no squash can retract
+        self.checks = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, build) -> None:
+        """Hook every PreVV unit and the squash controller of a build."""
+        for unit in build.units:
+            unit.sanitizer = self
+            unit.queue.observer = _QueueObserver(self, unit)
+            for cfg in unit.ports:
+                self._port_rom.add(cfg.rom_pos)
+        if build.squash_controller is not None:
+            build.squash_controller.sanitizer = self
+
+    # ------------------------------------------------------------------
+    # Findings plumbing
+    # ------------------------------------------------------------------
+    def _confirm(self, code: str, message: str, location: str, hint: str) -> None:
+        self._confirmed.append(
+            make_diagnostic(code, message, location=location, hint=hint,
+                            pass_name="sanitize-sc-oracle")
+        )
+
+    def _defer(
+        self, code: str, key: Key, message: str, location: str, hint: str,
+        record,
+    ) -> None:
+        self._pending[(code, key)] = _Pending(
+            code, message, location, hint,
+            dict(record.tags), record.domain, record.iteration,
+        )
+
+    @property
+    def has_errors(self) -> bool:
+        """Fail-fast signal for Simulator.abort_condition: only findings
+        no future squash could retract count."""
+        return bool(self._confirmed)
+
+    # ------------------------------------------------------------------
+    # Hooks (called from the PreVV machinery)
+    # ------------------------------------------------------------------
+    def on_process(self, unit, port_idx: int, record) -> None:
+        """Every record the arbiter pulls for validation (Fig. 5 front)."""
+        if record.done:
+            self.trace.record("done", unit.name, f"port {port_idx}")
+            return
+        self.checks += 1
+        cfg = unit.ports[port_idx]
+        key = (cfg.rom_pos, record.iteration)
+        expected = self._expected.get(key)
+        loc = f"{unit.name}:p{port_idx}:it{record.iteration}"
+        if record.fake:
+            self.trace.record(
+                "fake", unit.name, f"port {port_idx} it={record.iteration}"
+            )
+            if expected is not None:
+                self._defer(
+                    "PV308", key,
+                    f"fake token at rom {cfg.rom_pos} iteration "
+                    f"{record.iteration}, but program order executes "
+                    f"{expected.op} {expected.array}[{expected.index}] there",
+                    loc,
+                    "a fake token retires the slot without validation; if "
+                    "this survives to the end of the run the operation was "
+                    "never checked",
+                    record,
+                )
+            return
+        self.trace.record(
+            "process", unit.name,
+            f"{record.op} idx={record.index} val={record.value} "
+            f"it={record.iteration}",
+        )
+        if expected is None:
+            self._defer(
+                "PV308", key,
+                f"real {record.op} processed at rom {cfg.rom_pos} iteration "
+                f"{record.iteration}, which program order never executes",
+                loc,
+                "the port's condition mis-evaluated (or fake-token wiring "
+                "sends reals down a skip edge)",
+                record,
+            )
+
+    def on_violation(
+        self, unit, kind: str, observed, reference, accused
+    ) -> None:
+        """Every Eq. 2-5 violation verdict the arbiter declares."""
+        self.trace.record(
+            "violation", unit.name,
+            f"{kind} accused={accused.op} idx={accused.index} "
+            f"it={accused.iteration} observed={observed} reference={reference}",
+        )
+        if observed == reference:
+            # Immediate: equal values can never be an ordering violation
+            # under value-based validation, and no squash "fixes" the
+            # wasted replay after the fact.
+            self._confirm(
+                "PV306",
+                f"{kind} violation declared on {accused.op} index "
+                f"{accused.index} iteration {accused.iteration} although "
+                f"both compared values are {observed!r}",
+                f"{unit.name}:it{accused.iteration}",
+                "value-based validation (Eqs. 2-5) must treat equal values "
+                "as benign reordering",
+            )
+
+    def on_retire(self, unit, record) -> None:
+        """Every head retirement: the arbiter's final 'valid' verdict."""
+        self.checks += 1
+        cfg = unit.ports[record.port]
+        key = (cfg.rom_pos, record.iteration)
+        expected = self._expected.get(key)
+        loc = f"{unit.name}:p{record.port}:it{record.iteration}"
+        self.trace.record(
+            "retire", unit.name,
+            f"{record.op} idx={record.index} val={record.value} "
+            f"it={record.iteration}",
+        )
+        if expected is None:
+            self._defer(
+                "PV305", key,
+                f"{record.op} retired at rom {cfg.rom_pos} iteration "
+                f"{record.iteration}, which program order never executes",
+                loc, "the arbiter validated an operation that should not "
+                "exist", record,
+            )
+            return
+        if record.index != expected.index or record.value != expected.value:
+            self._defer(
+                "PV305", key,
+                f"{record.op} retired with {cfg.array}[{record.index}] = "
+                f"{record.value}, but program order has "
+                f"{expected.array}[{expected.index}] = {expected.value}",
+                loc,
+                "the arbiter committed a premature value it should have "
+                "squashed (missed ordering violation)",
+                record,
+            )
+        else:
+            self._pending.pop(("PV305", key), None)
+        self._retired[key] = _Retired(
+            dict(record.tags), record.domain, record.iteration
+        )
+
+    def on_squash_executed(self, targets: Dict[int, int]) -> None:
+        """An executed squash retracts every finding it covers: the
+        machine rolled the offending state back, so the premature value
+        the finding accused never becomes architectural."""
+        self.trace.record(
+            "squash", "controller",
+            " ".join(f"d{d}>={i}" for d, i in sorted(targets.items())),
+        )
+        self._pending = {
+            k: p for k, p in self._pending.items()
+            if not p.covered_by(targets)
+        }
+        self._retired = {
+            k: r for k, r in self._retired.items()
+            if not r.covered_by(targets)
+        }
+
+    # ------------------------------------------------------------------
+    # End of run
+    # ------------------------------------------------------------------
+    def finalize(
+        self,
+        final_memory: Optional[Dict[str, List[int]]] = None,
+        completed: bool = True,
+    ) -> LintReport:
+        """Promote surviving pendings, check completeness + final memory.
+
+        ``completed`` False (deadlock/budget abort) skips the pending
+        flush and the completeness sweep: mid-run state is legitimately
+        transient, and flooding the report would bury the root cause.
+        """
+        for diag in self._confirmed:
+            self.report.add(diag)
+        self._confirmed = []
+        if completed:
+            for (code, _key), pending in sorted(self._pending.items()):
+                self.report.add(
+                    make_diagnostic(
+                        pending.code, pending.message,
+                        location=pending.location, hint=pending.hint,
+                        pass_name="sanitize-sc-oracle",
+                    )
+                )
+            self._pending.clear()
+            for key, event in sorted(self._expected.items()):
+                if key[0] in self._port_rom and key not in self._retired:
+                    self.report.add(
+                        make_diagnostic(
+                            "PV305",
+                            f"program-order {event.op} "
+                            f"{event.array}[{event.index}] at rom {key[0]} "
+                            f"iteration {key[1]} was never retired by the "
+                            "arbiter",
+                            location=f"{self.fn.name}:rom{key[0]}:it{key[1]}",
+                            hint="a lost or mis-tagged token bypassed "
+                            "validation entirely",
+                            pass_name="sanitize-sc-oracle",
+                        )
+                    )
+        if completed and final_memory is not None:
+            for array, golden_vals in self.golden.memory.items():
+                got = final_memory.get(array)
+                if got is None or list(got) != list(golden_vals):
+                    diffs = []
+                    if got is not None:
+                        diffs = [
+                            i for i, (a, b) in enumerate(zip(golden_vals, got))
+                            if a != b
+                        ]
+                    self.report.add(
+                        make_diagnostic(
+                            "PV305",
+                            f"final memory of array {array!r} diverges from "
+                            f"the interpreter at indices {diffs[:8]}",
+                            location=f"memory:{array}",
+                            hint="an unsquashed premature value became "
+                            "architectural",
+                            pass_name="sanitize-sc-oracle",
+                        )
+                    )
+        return self.report

@@ -176,6 +176,92 @@ def run_bench(quick: bool = True, jobs: int = 1,
     }
 
 
+# ----------------------------------------------------------------------
+# Sanitizer sweep: ``python -m repro.bench --sanitize``
+# ----------------------------------------------------------------------
+#: Default configuration axis for the sanitizer sweep: both baselines
+#: from the paper's evaluation, plus a depth-1 premature queue, which
+#: maximizes the squash rate (every conflicting pair collides
+#: immediately) and therefore stresses the replay/retraction protocol.
+SANITIZE_CONFIG_NAMES = ("dynamatic", "prevv16", "prevv64", "prevv1")
+
+
+def _sanitize_config(name: str):
+    from ..eval.configs import BY_NAME, prevv_with_depth
+
+    if name in BY_NAME:
+        return BY_NAME[name]
+    if name.startswith("prevv") and name[5:].isdigit():
+        return prevv_with_depth(int(name[5:]))
+    raise ValueError(
+        f"unknown sanitize config {name!r}; choose from "
+        f"{sorted(BY_NAME)} or prevv<depth>"
+    )
+
+
+def _sanitize_worker(args):
+    kname, config, sizes, max_cycles = args
+    from ..analysis.sanitizer import sanitize_run
+
+    kernel = get_kernel(kname, **(sizes or {}))
+    result = sanitize_run(kernel, config, max_cycles=max_cycles)
+    return {
+        "kernel": kname,
+        "config": config.name,
+        "cycles": result.cycles,
+        "checks": result.checks,
+        "completed": result.completed,
+        "verified": result.verified,
+        "ok": result.ok,
+        "errors": [d.format() for d in result.report.errors],
+        "warnings": len(result.report.warnings),
+    }
+
+
+def run_sanitize_sweep(quick: bool = True, jobs: int = 1,
+                       kernels: Optional[Sequence[str]] = None,
+                       configs: Optional[Sequence[str]] = None,
+                       max_cycles: int = 2_000_000) -> Dict:
+    """Run every (kernel, config) point under the PVSan oracle.
+
+    The sweep is the dynamic half of the repo's correctness gate: each
+    point replays the interpreter's program order alongside the cycle
+    simulation and fails on any missed violation, spurious squash,
+    fake-token disagreement or final-memory divergence.  Unlike the
+    timing grid it covers *every* registered kernel, not just the
+    paper's evaluation set — correctness has no reason to sample.
+    """
+    from ..kernels import kernel_names
+
+    knames = list(kernels or kernel_names())
+    grid_configs = [
+        _sanitize_config(name)
+        for name in (configs or SANITIZE_CONFIG_NAMES)
+    ]
+    work = [
+        (kname, cfg, QUICK_SIZES.get(kname) if quick else None, max_cycles)
+        for kname in knames
+        for cfg in grid_configs
+    ]
+    started = time.perf_counter()
+    if jobs > 1 and len(work) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+            points: List[Dict] = list(pool.map(_sanitize_worker, work))
+    else:
+        points = [_sanitize_worker(w) for w in work]
+    failures = [p for p in points if not (p["ok"] and p["verified"])]
+    return {
+        "bench": "sanitize",
+        "quick": quick,
+        "configs": [c.name for c in grid_configs],
+        "total_wall_s": round(time.perf_counter() - started, 3),
+        "points": points,
+        "failures": len(failures),
+    }
+
+
 def time_table2(quick: bool = True) -> Dict:
     """Time a full single-process ``table2`` run (compile + simulate).
 
@@ -266,9 +352,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="attribute propagate time/evals per "
                         "component class (inflates wall clocks)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run the PVSan oracle sweep instead of the "
+                        "timing grid; non-zero exit on any oracle "
+                        "mismatch or memory divergence")
     opts = parser.parse_args(argv)
 
     configs = opts.configs.split(",") if opts.configs else None
+    if opts.sanitize:
+        result = run_sanitize_sweep(quick=opts.quick, jobs=opts.jobs,
+                                    kernels=None, configs=configs)
+        out = opts.out
+        if out == "BENCH_simulator.json":
+            out = "BENCH_sanitize.json"
+        with open(out, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        for point in result["points"]:
+            status = "ok" if point["ok"] and point["verified"] else "FAIL"
+            print(
+                f"{point['kernel']:12s} {point['config']:10s} "
+                f"{point['cycles']:>8d} cyc  {point['checks']:>8d} checks  "
+                f"{status}"
+            )
+            for err in point["errors"][:5]:
+                print(f"    {err}")
+        print(
+            f"sanitize sweep: {len(result['points'])} points, "
+            f"{result['failures']} failure(s) in "
+            f"{result['total_wall_s']:.2f}s; wrote {out}"
+        )
+        return 1 if result["failures"] else 0
     result = run_bench(quick=opts.quick, jobs=opts.jobs,
                        configs=configs, profile=opts.profile)
     if opts.table2:

@@ -24,7 +24,7 @@ from .schedule import (
 )
 from .simulator import SimulationStats, Simulator
 from .reference import ReferenceSimulator
-from .tracing import ChannelTrace
+from .tracing import ChannelTrace, OrderTrace
 from .visualize import to_dot
 
 __all__ = [
@@ -60,5 +60,6 @@ __all__ = [
     "SimulationStats",
     "ReferenceSimulator",
     "ChannelTrace",
+    "OrderTrace",
     "to_dot",
 ]

@@ -43,7 +43,7 @@ of a premature-queue deadlock.
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..errors import ConvergenceError, DeadlockError, SimulationError
 from .arith import Operator
@@ -98,6 +98,11 @@ class Simulator:
         self._quiet_cycles = 0
         #: callables invoked after every clock edge (e.g. squash execution)
         self.end_of_cycle_hooks: List[Callable[[], None]] = []
+        #: optional fail-fast predicate checked once per cycle by run();
+        #: returning True ends the run immediately (PVSan uses this to
+        #: stop a sanitized simulation at the first oracle error instead
+        #: of running a corrupted circuit to completion).
+        self.abort_condition: Optional[Callable[[], bool]] = None
         circuit.validate()
         self._build_schedule()
 
@@ -430,6 +435,8 @@ class Simulator:
         """Run until ``done()`` is true; raise on deadlock or cycle budget."""
         self._quiet_cycles = 0
         while not done():
+            if self.abort_condition is not None and self.abort_condition():
+                return self.stats
             if self.stats.cycles >= self.max_cycles:
                 raise SimulationError(
                     f"{self.circuit.name}: exceeded {self.max_cycles} cycles "

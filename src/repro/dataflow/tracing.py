@@ -44,3 +44,38 @@ class ChannelTrace:
         if len(self.events) > limit:
             lines.append(f"... ({len(self.events) - limit} more events)")
         return "\n".join(lines)
+
+
+class OrderTrace:
+    """Chronological record of arbiter-level memory-ordering events.
+
+    Fed by the PVSan SC oracle (not by the channel layer): one event per
+    processed operation, violation verdict, retirement and executed
+    squash.  Each event is ``(kind, unit_name, detail)`` where ``detail``
+    is a short human-readable summary — enough to reconstruct *why* the
+    sanitizer flagged (or cleared) a run without re-simulating it.
+    """
+
+    def __init__(self, limit: int = 100_000):
+        self.limit = limit
+        self.events: List[Tuple[str, str, str]] = []
+        self.dropped = 0
+
+    def record(self, kind: str, unit: str, detail: str) -> None:
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append((kind, unit, detail))
+
+    def of_kind(self, kind: str) -> List[Tuple[str, str, str]]:
+        return [e for e in self.events if e[0] == kind]
+
+    def format(self, limit: int = 200) -> str:
+        lines = [
+            f"{kind:<10} {unit:<14} {detail}"
+            for kind, unit, detail in self.events[:limit]
+        ]
+        hidden = len(self.events) - limit + self.dropped
+        if hidden > 0:
+            lines.append(f"... ({hidden} more events)")
+        return "\n".join(lines)

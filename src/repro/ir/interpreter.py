@@ -8,6 +8,14 @@ The interpreter also records a :class:`MemoryTrace` — the dynamic sequence
 of loads/stores with resolved addresses — which the analysis tests use as
 an oracle for ambiguous-pair detection and which seeds the squash-
 probability estimates of the sizing model (Sec. V-A).
+
+Each trace event additionally carries the *activation index* of its
+innermost loop: the number of times that loop's body has been entered
+before, counted cumulatively over the whole run.  This is exactly the
+iteration number a :class:`~repro.prevv.replay.DomainGate` tags onto the
+corresponding circuit token, so the PVSan sequential-consistency oracle
+can key its expected-value table by ``(static op, iteration)`` and match
+arbiter records one-to-one against program order.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from .instructions import (
     SelectInst,
     StoreInst,
 )
+from .loops import find_loops, innermost_loop_of
 from .values import ConstInt, Value
 
 _BINARY_FNS = {
@@ -69,6 +78,10 @@ class TraceEvent:
     index: int
     value: int
     inst: Instruction   # the static instruction
+    #: activation index of the innermost loop containing ``inst`` (the
+    #: squash-domain iteration tag of the matching circuit token); -1 for
+    #: accesses outside any loop.
+    iteration: int = -1
 
 
 @dataclass
@@ -77,6 +90,10 @@ class MemoryTrace:
 
     def for_array(self, array: str) -> List[TraceEvent]:
         return [e for e in self.events if e.array == array]
+
+    def for_inst(self, inst: Instruction) -> List[TraceEvent]:
+        """Dynamic events of one static load/store, in program order."""
+        return [e for e in self.events if e.inst is inst]
 
     def __len__(self) -> int:
         return len(self.events)
@@ -134,7 +151,25 @@ class Interpreter:
         block = fn.entry
         prev_block: Optional[BasicBlock] = None
 
+        # Loop-activation bookkeeping for iteration-tagged trace events:
+        # a loop's counter advances every time control enters its body
+        # from the header — one tick per DomainGate bundle in the circuit.
+        header_loop: Dict[int, object] = {}
+        inner_loop: Dict[int, object] = {}
+        activations: Dict[int, int] = {}
+        if record_trace:
+            loops = find_loops(fn)
+            for loop in loops:
+                header_loop[id(loop.header)] = loop
+            for blk in fn.blocks:
+                inner_loop[id(blk)] = innermost_loop_of(loops, blk)
+
         while True:
+            if record_trace and prev_block is not None:
+                entered = header_loop.get(id(prev_block))
+                if entered is not None and block in entered.blocks:
+                    key = id(entered)
+                    activations[key] = activations.get(key, -1) + 1
             # Phis read their incomings simultaneously (classic two-phase).
             if block.phis:
                 staged = []
@@ -166,8 +201,13 @@ class Interpreter:
                     val = mem[inst.array.name][idx]
                     env[inst] = val
                     if record_trace:
+                        owner = inner_loop.get(id(block))
                         trace.events.append(
-                            TraceEvent(seq, "load", inst.array.name, idx, val, inst)
+                            TraceEvent(
+                                seq, "load", inst.array.name, idx, val, inst,
+                                activations.get(id(owner), -1)
+                                if owner is not None else -1,
+                            )
                         )
                     seq += 1
                 elif isinstance(inst, StoreInst):
@@ -176,8 +216,13 @@ class Interpreter:
                     val = self._value(inst.value, env)
                     mem[inst.array.name][idx] = val
                     if record_trace:
+                        owner = inner_loop.get(id(block))
                         trace.events.append(
-                            TraceEvent(seq, "store", inst.array.name, idx, val, inst)
+                            TraceEvent(
+                                seq, "store", inst.array.name, idx, val, inst,
+                                activations.get(id(owner), -1)
+                                if owner is not None else -1,
+                            )
                         )
                     seq += 1
                 elif isinstance(inst, BranchInst):

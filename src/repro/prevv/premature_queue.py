@@ -64,6 +64,10 @@ class PrematureQueue:
         self.max_occupancy = 0
         self.total_pushes = 0
         self.full_stalls = 0
+        # Optional PVSan observer: ``on_retire(record)`` for every head
+        # retirement, ``on_excise(record)`` for every squash excision.
+        # Purely observational — it must never mutate queue state.
+        self.observer = None
 
     # ------------------------------------------------------------------
     # State queries (Fig. 4)
@@ -138,6 +142,8 @@ class PrematureQueue:
                         break
             if not lst:
                 del self._by_index[record.index]
+        if self.observer is not None:
+            self.observer.on_retire(record)
         return record
 
     def entries(self) -> Iterator[PTuple]:
@@ -186,6 +192,8 @@ class PrematureQueue:
         by_index: Dict[int, List[PTuple]] = {}
         for k, drop in enumerate(doomed):
             if drop:
+                if self.observer is not None:
+                    self.observer.on_excise(slots[(head + k) % phys])
                 continue
             record = slots[(head + k) % phys]
             slots[write] = record

@@ -254,6 +254,10 @@ class SquashController:
         self._gates: Dict[int, DomainGate] = {}
         self._units: List = []
         self._pending: List[Tuple[int, int]] = []  # (domain, min_iter)
+        # Optional PVSan oracle notified of every *executed* squash (the
+        # expanded target map), so it can retract findings whose records
+        # the squash rolled back.  Purely observational.
+        self.sanitizer = None
         # Statistics
         self.squashes = 0
         self.squashed_iterations = 0
@@ -330,6 +334,8 @@ class SquashController:
 
     def _execute_squashes(self, targets: Dict[int, int]) -> None:
         self.squashes += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_squash_executed(dict(targets))
         # Phase 1: flush every target domain's tokens everywhere (gates
         # flush their replay storage by token tags at the same time).
         for domain, min_iter in sorted(targets.items()):

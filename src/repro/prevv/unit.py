@@ -99,6 +99,10 @@ class PreVVUnit(Component):
         self._last_real_iter: List[int] = [-1] * len(ports)
         self._mc_link: List = [None] * len(ports)  # (mc, kind, port_idx)
         controller.register_unit(self)
+        # Optional PVSan SC-oracle adapter observing every arbiter
+        # decision (process/violation); attached by the sanitizer runner,
+        # never by the builder.  Must stay purely observational.
+        self.sanitizer = None
         # Statistics
         self.violations = 0
         self.violations_by_kind = {"raw": 0, "war": 0, "waw": 0}
@@ -339,9 +343,26 @@ class PreVVUnit(Component):
     # ------------------------------------------------------------------
     # Validation (Eqs. 2-5 generalized)
     # ------------------------------------------------------------------
+    def _flag_violation(
+        self, kind: str, observed, reference, accused: PTuple
+    ) -> None:
+        """Account one detected violation (Eqs. 2-5 mismatch).
+
+        ``observed`` is the value the accused operation carried,
+        ``reference`` the value program order says it should have seen —
+        the very comparison the arbiter just made, handed to the PVSan
+        oracle so it can flag squashes on *equal* values as spurious.
+        """
+        self.violations += 1
+        self.violations_by_kind[kind] += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_violation(self, kind, observed, reference, accused)
+
     def _process(self, port_idx: int, record: PTuple) -> bool:
         """Validate ``record``; returns True when its own iteration squashes."""
         self.processed_ops += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_process(self, port_idx, record)
         if record.done:
             self._advance_version(port_idx, ITER_DONE)
             return False
@@ -394,8 +415,9 @@ class PreVVUnit(Component):
                     # WAR: the program-older load read memory *after* this
                     # store committed (versions prove it) and saw the wrong
                     # value: replay from the load's iteration.
-                    self.violations += 1
-                    self.violations_by_kind["war"] += 1
+                    self._flag_violation(
+                        "war", entry.value, store.old_value, entry
+                    )
                     self.controller.request_squash(
                         entry.domain, entry.iteration
                     )
@@ -410,16 +432,14 @@ class PreVVUnit(Component):
                 older = [s for s in stores if s.position < entry.position]
                 expected = older[-1].value if older else None
                 if expected is not None and entry.value != expected:
-                    self.violations += 1
-                    self.violations_by_kind["raw"] += 1
+                    self._flag_violation("raw", entry.value, expected, entry)
                     self.controller.request_squash(entry.domain, entry.iteration)
                     return False
                 self.benign_reorders += 1
             elif entry.value != store.value:
                 # Store/store inversion: the younger store committed first;
                 # memory would end with the wrong value. Replay the younger.
-                self.violations += 1
-                self.violations_by_kind["waw"] += 1
+                self._flag_violation("waw", entry.value, store.value, entry)
                 self.controller.request_squash(entry.domain, entry.iteration)
                 return False
         return False
@@ -436,8 +456,7 @@ class PreVVUnit(Component):
             if load.value != latest.value:
                 # The load raced ahead of an older store's commit (classic
                 # RAW): its own iteration must replay.
-                self.violations += 1
-                self.violations_by_kind["raw"] += 1
+                self._flag_violation("raw", load.value, latest.value, load)
                 self.controller.request_squash(load.domain, load.iteration)
                 return True
             self.benign_reorders += 1
@@ -450,8 +469,9 @@ class PreVVUnit(Component):
             if earliest.old_value is not None and load.value != earliest.old_value:
                 # WAR: a younger store overwrote memory before this older
                 # load read it. Replay the load and the stores behind it.
-                self.violations += 1
-                self.violations_by_kind["war"] += 1
+                self._flag_violation(
+                    "war", load.value, earliest.old_value, load
+                )
                 self.controller.request_squash(load.domain, load.iteration)
                 self.controller.request_squash(
                     earliest.domain, earliest.iteration

@@ -112,9 +112,9 @@ class TestLintReport:
 
 
 class TestRegistry:
-    def test_all_passes_cover_three_layers(self):
+    def test_all_passes_cover_four_layers(self):
         layers = {p.layer for p in all_passes()}
-        assert layers == {"ir", "circuit", "prevv"}
+        assert layers == {"ir", "circuit", "prevv", "sanitize"}
 
     def test_every_declared_code_exists(self):
         declared = {c for p in all_passes() for c in p.codes}
@@ -205,8 +205,35 @@ class TestCli:
         assert "fig2a[prevv]" in out
         assert "0 error(s)" in out
 
-    def test_unknown_kernel_exits_two(self, capsys):
-        assert lint_main(["not-a-kernel"]) == 2
+    def test_unknown_kernel_exits_one(self, capsys):
+        assert lint_main(["not-a-kernel"]) == 1
+
+    def test_warnings_only_exits_two(self, capsys, monkeypatch):
+        from repro.analysis.lint import cli as cli_mod
+
+        warned = LintReport(subject="w")
+        warned.add(make_diagnostic("PV201", "sizing nit"))
+        monkeypatch.setattr(
+            cli_mod, "lint_kernel", lambda name, config: warned
+        )
+        assert lint_main(["vadd", "--config", "prevv"]) == 2
+
+    def test_format_json_emits_one_object_per_line(self, capsys):
+        assert lint_main(["fig2b", "--config", "prevv",
+                          "--format", "json"]) == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines() if line
+        ]
+        assert lines, "clean prevv lint still reports INFO diagnostics"
+        for record in lines:
+            assert record["subject"] == "fig2b[prevv]"
+            assert {"code", "severity", "message", "pass"} <= set(record)
+
+    def test_sanitize_flag_checks_the_run(self, capsys):
+        assert lint_main(["recurrence", "--config", "prevv",
+                          "--sanitize"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
 
     def test_unsound_style_exits_one(self, capsys):
         assert lint_main(["fig2a", "--config", "none"]) == 1

@@ -1,0 +1,158 @@
+"""Polyhedral/prover edge cases: strides, nests, non-affine fallbacks.
+
+The soundness-critical property throughout: any shape the analysis does
+not understand must land on MAY_CONFLICT (polyhedral layer) or UNKNOWN
+(prover lattice) — never on a false independence claim.
+"""
+
+from repro.analysis.polyhedral import (
+    AffineAnalyzer,
+    Dependence,
+    classify_dependence,
+)
+from repro.analysis.sanitizer import (
+    DependenceProver,
+    PairClass,
+    derive_iv_bounds,
+)
+from repro.ir import Function, IRBuilder, run_golden, verify_function
+from repro.kernels import NestBuilder
+
+
+def build_countdown(n=12):
+    """``for i = n-1; i >= 0; i -= 1: a[i-1] = a[i] + 1`` — negative stride."""
+    fn = Function("countdown")
+    b = IRBuilder(fn)
+    n_arg = b.arg("n")
+    a = b.array("a", n + 1)
+    entry, header, body, exit_ = b.blocks("entry", "i_h", "i_b", "i_x")
+    b.at(entry)
+    start = b.sub(n_arg, 1, name="start")
+    b.jmp(header)
+    b.at(header)
+    iv = b.phi("i")
+    iv.add_incoming(entry, start)
+    b.br(b.ge(iv, 1), body, exit_)
+    b.at(body)
+    v = b.load(a, iv, name="v")
+    b.store(a, b.sub(iv, 1), b.add(v, 1))
+    nxt = b.sub(iv, 1, name="i_next")
+    iv.add_incoming(body, nxt)
+    b.jmp(header)
+    b.at(exit_)
+    b.ret()
+    verify_function(fn)
+    return fn, {"n": n}
+
+
+def build_nested(subscript, n=6):
+    """Depth-2 nest storing/loading ``a[<subscript>]`` in the inner body."""
+    fn = Function("nested")
+    b = IRBuilder(fn)
+    n_arg = b.arg("n")
+    a = b.array("a", n * n)
+    b.at(b.block("entry"))
+    nest = NestBuilder(b)
+    i = nest.open_loop("i", n_arg).iv
+    j = nest.open_loop("j", n_arg).iv
+    idx = subscript(b, i, j)
+    v = b.load(a, idx, name="v")
+    b.store(a, idx, b.add(v, 1))
+    nest.close_loop()
+    nest.close_loop()
+    b.ret()
+    verify_function(fn)
+    return fn, {"n": n}
+
+
+class TestNegativeStride:
+    def test_iv_bounds_recognize_countdown(self):
+        fn, args = build_countdown(12)
+        bounds = derive_iv_bounds(fn, args)
+        (ivb,) = bounds.values()
+        assert ivb.start == 11
+        assert ivb.step == -1
+        assert ivb.count == 11  # i = 11 .. 1
+        assert (ivb.lo, ivb.hi) == (1, 11)
+
+    def test_countdown_pair_bounded_at_distance_one(self):
+        fn, args = build_countdown(12)
+        prover = DependenceProver(fn, args=args)
+        (proof,) = prover.prove_all()
+        assert proof.classification is PairClass.BOUNDED_DISTANCE
+        assert proof.distance == 1
+
+    def test_countdown_bound_holds_dynamically(self):
+        fn, args = build_countdown(12)
+        prover = DependenceProver(fn, args=args)
+        (proof,) = prover.prove_all()
+        memory = {"a": list(range(13))}
+        golden = run_golden(fn, args=args, memory=memory)
+        stores = {}
+        for ev in golden.trace.for_inst(proof.pair.store):
+            stores.setdefault(ev.index, []).append(ev.iteration)
+        distances = [
+            abs(ev.iteration - it)
+            for ev in golden.trace.for_inst(proof.pair.load)
+            for it in stores.get(ev.index, [])
+        ]
+        assert distances and max(distances) <= proof.distance
+
+
+class TestDepthTwoNests:
+    def test_outer_iv_subscript_stays_unknown(self):
+        # a[i] inside the j-loop re-touches the same address on every
+        # inner activation: a constant-distance claim would be unsound.
+        fn, args = build_nested(lambda b, i, j: i)
+        prover = DependenceProver(fn, args=args)
+        (proof,) = prover.prove_all()
+        assert proof.classification is PairClass.UNKNOWN
+
+    def test_loop_invariant_subscript_stays_unknown(self):
+        fn, args = build_nested(lambda b, i, j: b.const(3))
+        prover = DependenceProver(fn, args=args)
+        (proof,) = prover.prove_all()
+        assert proof.classification is PairClass.UNKNOWN
+
+    def test_inner_iv_subscript_stays_unknown(self):
+        # a[j] aliases across *outer* iterations at unbounded distance;
+        # the j-loop being non-outermost must block the bounded claim.
+        fn, args = build_nested(lambda b, i, j: j)
+        prover = DependenceProver(fn, args=args)
+        (proof,) = prover.prove_all()
+        assert proof.classification is PairClass.UNKNOWN
+
+
+class TestNonAffineFallback:
+    def test_indirect_subscript_is_non_affine(self):
+        fn, args = build_nested(lambda b, i, j: b.load(b._block.parent.arrays["a"], j))
+        analyzer = AffineAnalyzer(fn)
+        mem_ops = fn.memory_ops()
+        # The outer load's subscript is itself a load: non-affine.
+        assert any(
+            analyzer.analyze(op.index) is None
+            for op in mem_ops
+            if hasattr(op, "index")
+        )
+
+    def test_non_affine_classifies_may_conflict(self):
+        assert classify_dependence(None, None) is Dependence.MAY_CONFLICT
+
+    def test_iv_product_subscript_never_proven_independent(self):
+        fn, args = build_nested(lambda b, i, j: b.mul(i, j))
+        prover = DependenceProver(fn, args=args)
+        proofs = prover.prove_all()
+        assert proofs
+        for proof in proofs:
+            assert proof.classification is PairClass.UNKNOWN
+            assert "non-affine" in proof.reason
+
+    def test_select_subscript_never_proven_independent(self):
+        fn, args = build_nested(
+            lambda b, i, j: b.select(b.lt(i, j), i, j)
+        )
+        prover = DependenceProver(fn, args=args)
+        proofs = prover.prove_all()
+        assert proofs
+        for proof in proofs:
+            assert proof.classification is PairClass.UNKNOWN
