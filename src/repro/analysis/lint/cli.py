@@ -1,10 +1,12 @@
 """Command-line front end: ``python -m repro.lint <kernel> [options]``.
 
-Runs the full four-layer analysis over one registered kernel (or every
+Runs the full five-layer analysis over one registered kernel (or every
 kernel with ``all``) under a chosen hardware configuration and prints
 the report.  With ``--sanitize`` it additionally simulates the kernel
 under the PVSan sequential-consistency oracle and merges the dynamic
-findings into the same report.
+findings into the same report; with ``--perf`` it simulates the kernel
+once and arms the PV404 static-vs-measured divergence check of the
+PVPerf layer.
 
 Exit codes (stable; CI keys off them):
 
@@ -63,6 +65,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "oracle and merge its findings into the report",
     )
     parser.add_argument(
+        "--perf",
+        action="store_true",
+        help="also simulate the kernel, pair the PVPerf static bounds "
+        "with their measured counterparts and arm the PV404 "
+        "divergence check",
+    )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print per-pass wall times after each text report "
+        "(always present in --json output)",
+    )
+    parser.add_argument(
         "--max-cycles",
         type=int,
         default=2_000_000,
@@ -98,6 +113,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered lint passes and exit",
     )
+    parser.add_argument(
+        "--list",
+        dest="list_all",
+        action="store_true",
+        help="enumerate every registered pass (name, layer, worst "
+        "severity, one-line doc) and exit",
+    )
     return parser
 
 
@@ -116,6 +138,37 @@ def _list_passes() -> str:
     return "\n".join(lines)
 
 
+def _pass_doc(pass_cls) -> str:
+    """First line of the pass docstring, stripped of trailing period."""
+    doc = (pass_cls.__doc__ or "").strip().splitlines()
+    return doc[0].rstrip(".") if doc else ""
+
+
+def _pass_severity(pass_cls) -> Severity:
+    """Worst default severity among the codes a pass may emit."""
+    return max(CODES[code][0] for code in pass_cls.codes)
+
+
+def _list_all() -> str:
+    """Full pass inventory: name, layer, worst severity, one-line doc.
+
+    Sorted by (layer order, name) so the listing is stable however the
+    pass modules happened to register.
+    """
+    from .registry import LAYERS
+
+    order = {layer: i for i, layer in enumerate(LAYERS)}
+    lines = ["pass                            layer     severity  summary"]
+    for pass_cls in sorted(
+        all_passes(), key=lambda p: (order[p.layer], p.name)
+    ):
+        lines.append(
+            f"{pass_cls.name:<30}  {pass_cls.layer:<8}  "
+            f"{_pass_severity(pass_cls).value:<8}  {_pass_doc(pass_cls)}"
+        )
+    return "\n".join(lines)
+
+
 def _exit_code(reports: List[LintReport]) -> int:
     """0 clean / 1 errors / 2 warnings-only, over all reports."""
     if any(report.errors for report in reports):
@@ -128,14 +181,27 @@ def _exit_code(reports: List[LintReport]) -> int:
 def _emit_jsonl(
     reports: List[LintReport], min_severity: Severity
 ) -> None:
-    """One JSON object per diagnostic — greppable, CI-artifact friendly."""
+    """One JSON object per diagnostic — greppable, CI-artifact friendly.
+
+    Records are sorted by (subject, code, location, message, pass) so
+    two runs over the same kernels diff cleanly even if pass execution
+    order ever changes.
+    """
+    records = []
     for report in reports:
         for diag in report.diagnostics:
             if diag.severity < min_severity:
                 continue
             record = {"subject": report.subject}
             record.update(diag.to_dict())
-            print(json.dumps(record, sort_keys=True))
+            records.append(record)
+    records.sort(
+        key=lambda r: (
+            r["subject"], r["code"], r["location"], r["message"], r["pass"]
+        )
+    )
+    for record in records:
+        print(json.dumps(record, sort_keys=True))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -146,6 +212,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if ns.list_passes:
         print(_list_passes())
+        return 0
+    if ns.list_all:
+        print(_list_all())
         return 0
     if ns.kernel is None:
         parser.error("a kernel name (or 'all') is required")
@@ -159,8 +228,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     reports = []
     for name in names:
+        measured = None
+        if ns.perf:
+            from ..perf import measure_kernel
+
+            try:
+                _, measured = measure_kernel(
+                    name, config, max_cycles=ns.max_cycles
+                )
+            except KeyError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 1
         try:
-            report = lint_kernel(name, config)
+            report = lint_kernel(name, config, measured=measured)
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 1
@@ -186,6 +266,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         for report in reports:
             print(report.format(min_severity=min_severity))
+            if ns.timings:
+                print(report.format_timings())
     return _exit_code(reports)
 
 

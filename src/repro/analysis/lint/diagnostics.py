@@ -8,7 +8,10 @@ fix-it hint.  Codes are grouped by analysis layer:
 * ``PV1xx`` — circuit-graph structure (connectivity, deadlock, tokens);
 * ``PV2xx`` — PreVV configuration (queue sizing, pair cross-checks);
 * ``PV3xx`` — PVSan: the static disambiguation prover and the dynamic
-  sequential-consistency oracle (:mod:`repro.analysis.sanitizer`).
+  sequential-consistency oracle (:mod:`repro.analysis.sanitizer`);
+* ``PV4xx`` — PVPerf: static throughput bounds (maximum cycle ratio,
+  PreVV pressure models) and their measured cross-check
+  (:mod:`repro.analysis.perf`).
 
 The full table lives in :data:`CODES`; emitting an unknown code is a
 programming error and raises immediately, which keeps the table exhaustive
@@ -90,6 +93,11 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "PV306": (Severity.ERROR, "arbiter squashed without an observable value mismatch"),
     "PV307": (Severity.ERROR, "dimension reduction does not cover the ambiguous pairs"),
     "PV308": (Severity.ERROR, "fake/real token retirement disagrees with program order"),
+    # --- PVPerf performance layer (PV4xx) ------------------------------
+    "PV401": (Severity.WARNING, "undersized buffering bounds the critical cycle"),
+    "PV402": (Severity.WARNING, "validation bandwidth bounds the loop II"),
+    "PV403": (Severity.WARNING, "premature-queue depth below the proven distance window"),
+    "PV404": (Severity.ERROR, "static II bound exceeds the measured steady state"),
 }
 
 
@@ -157,6 +165,8 @@ class LintReport:
 
     subject: str = ""
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: accumulated wall time per pass name, in seconds (driver-recorded)
+    timings: Dict[str, float] = field(default_factory=dict)
 
     def add(self, diag: Diagnostic) -> Diagnostic:
         self.diagnostics.append(diag)
@@ -164,6 +174,11 @@ class LintReport:
 
     def extend(self, other: "LintReport") -> None:
         self.diagnostics.extend(other.diagnostics)
+        for name, seconds in other.timings.items():
+            self.timings[name] = self.timings.get(name, 0.0) + seconds
+
+    def record_timing(self, pass_name: str, seconds: float) -> None:
+        self.timings[pass_name] = self.timings.get(pass_name, 0.0) + seconds
 
     # ------------------------------------------------------------------
     # Queries
@@ -210,10 +225,23 @@ class LintReport:
                 lines.append("  " + diag.format())
         return "\n".join(lines)
 
+    def format_timings(self) -> str:
+        """Per-pass wall-time table, slowest first."""
+        lines = [f"{self.subject or 'lint'}: pass timings"]
+        for name, seconds in sorted(
+            self.timings.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            lines.append(f"  {name:<32s} {seconds * 1000.0:9.2f} ms")
+        return "\n".join(lines)
+
     def to_dict(self) -> Dict:
         return {
             "subject": self.subject,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "timings": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self.timings.items())
+            },
         }
 
     def __len__(self) -> int:

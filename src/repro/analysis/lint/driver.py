@@ -4,7 +4,7 @@ Entry points by granularity:
 
 * :func:`lint_ir` — IR layer only (what ``repro.ir.verify`` now wraps);
 * :func:`lint_circuit` — circuit layer over an already-built circuit;
-* :func:`lint_build` — all three layers over a finished
+* :func:`lint_build` — every layer over a finished
   :class:`~repro.compile.elastic.BuildResult`, auditing the analysis the
   circuit was actually built from;
 * :func:`lint_kernel` — compile a registered kernel under a config and
@@ -18,6 +18,7 @@ the interpreter golden run they validate prover claims against.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
 from ...config import HardwareConfig
@@ -30,19 +31,31 @@ from . import ir_passes  # noqa: F401
 from . import circuit_passes  # noqa: F401
 from . import prevv_passes  # noqa: F401
 from . import sanitizer_passes  # noqa: F401
+from . import perf_passes  # noqa: F401
 
 
 def run_passes(
     ctx: LintContext, layers: Sequence[str] = LAYERS
 ) -> LintReport:
-    """Run every applicable registered pass for ``layers``, in order."""
+    """Run every applicable registered pass for ``layers``, in order.
+
+    Each pass's wall time accumulates into ``ctx.report.timings`` (a
+    pass run over several layers via repeated calls keeps one summed
+    entry), so slow analyses are visible in both output formats.
+    """
     for layer in layers:
         for pass_cls in passes_for_layer(layer):
             lint_pass = pass_cls()
             if not lint_pass.applicable(ctx):
                 continue
             ctx._current_pass = lint_pass.name
-            lint_pass.run(ctx)
+            started = time.perf_counter()
+            try:
+                lint_pass.run(ctx)
+            finally:
+                ctx.report.record_timing(
+                    lint_pass.name, time.perf_counter() - started
+                )
     ctx._current_pass = ""
     return ctx.report
 
@@ -77,7 +90,7 @@ def lint_build(
     fn: Optional[Function] = None,
     config: Optional[HardwareConfig] = None,
 ) -> LintReport:
-    """All three layers over a finished build.
+    """Every layer over a finished build.
 
     The PreVV layer audits ``build.analysis`` — the pair set the circuit
     was *actually* built from — against a freshly derived dependence set,
@@ -95,13 +108,17 @@ def lint_build(
     return run_passes(ctx)
 
 
-def lint_kernel(name: str, config: HardwareConfig) -> LintReport:
+def lint_kernel(
+    name: str, config: HardwareConfig, measured=None
+) -> LintReport:
     """Compile a registered kernel under ``config`` and lint every layer.
 
     When the IR layer reports errors the kernel is not compiled — the
     report carries the IR diagnostics only.  Otherwise the circuit is
-    built exactly as ``run_pipeline`` would build it and the circuit and
-    PreVV layers run over the result.
+    built exactly as ``run_pipeline`` would build it and the circuit,
+    PreVV, sanitize and perf layers run over the result.  ``measured``
+    (a :class:`~repro.analysis.perf.measure.PerfMeasurement`) arms the
+    PV404 static-vs-measured divergence check.
     """
     from ...compile.elastic import compile_function
     from ...errors import CompileError
@@ -110,7 +127,9 @@ def lint_kernel(name: str, config: HardwareConfig) -> LintReport:
     kernel = get_kernel(name)
     fn = kernel.build_ir()
     report = LintReport(subject=f"{name}[{config.memory_style}]")
-    ctx = LintContext(fn=fn, config=config, report=report, kernel=kernel)
+    ctx = LintContext(
+        fn=fn, config=config, report=report, kernel=kernel, measured=measured
+    )
     run_passes(ctx, layers=("ir",))
     if not report.ok:
         return report
@@ -127,4 +146,4 @@ def lint_kernel(name: str, config: HardwareConfig) -> LintReport:
     ctx.circuit = build.circuit
     ctx.build = build
     ctx._analysis = build.analysis
-    return run_passes(ctx, layers=("circuit", "prevv", "sanitize"))
+    return run_passes(ctx, layers=("circuit", "prevv", "sanitize", "perf"))

@@ -1,0 +1,160 @@
+"""PVPerf perf-layer lint passes (PV4xx).
+
+Four passes over the static throughput prover of
+:mod:`repro.analysis.perf`:
+
+* :class:`CriticalCyclePass` — PV401: the ratio graph's binding cycle
+  forces II > 1.  Every extra buffer slot on the cycle lowers the bound
+  (``L / (C+1) < L / C``), so the finding names the cycle's channels and
+  the shallowest storage on it.
+* :class:`ValidationBandwidthPass` — PV402: a PreVV unit must validate
+  more unconditional member operations per iteration of some loop than
+  its arbiter bandwidth admits per cycle, forcing ``II > 1`` on that
+  loop regardless of how the netlist is buffered.
+* :class:`QueuePressurePass` — PV403: PVSan's dependence prover bounds a
+  pair's aliasing distance, and the premature queue is shallower than
+  the ``next_pow2(n_ops * distance)`` window known sufficient — the
+  queue fills and stalls the arbiter before the window closes.
+* :class:`DivergencePass` — PV404: only with a supplied measurement
+  (``ctx.measured``); every static bound must stay at or below its
+  measured counterpart (:func:`repro.analysis.perf.measure.compare`).
+  A violation is a soundness bug in the *model*, hence an error.
+
+All static findings are advisory (WARNING) — they rank configurations,
+they do not block a build.  PV404 is the exception: an unsound bound
+poisons every consumer of :func:`repro.analysis.perf.predict.predict`.
+"""
+
+from __future__ import annotations
+
+from .registry import LintContext, LintPass, register_pass
+
+
+def _prediction(ctx: LintContext):
+    """PerfPrediction, computed once per lint run and cached on the ctx."""
+    if "perf_prediction" not in ctx.cache:
+        from ..perf import predict
+
+        args = dict(ctx.kernel.args) if ctx.kernel is not None else {}
+        ctx.cache["perf_prediction"] = predict(ctx.build, ctx.fn, args)
+    return ctx.cache["perf_prediction"]
+
+
+@register_pass
+class CriticalCyclePass(LintPass):
+    """PV401: the binding cycle's latency/capacity ratio exceeds 1."""
+
+    name = "perf-critical-cycle"
+    layer = "perf"
+    codes = ("PV401",)
+    requires = ("fn", "build")
+
+    def run(self, ctx: LintContext) -> None:
+        if ctx.has_ir_errors:
+            return
+        pred = _prediction(ctx)
+        cycle = pred.cycle
+        if cycle is None or cycle.is_combinational:
+            return  # acyclic constraint set, or PV103's territory
+        if cycle.ratio <= 1:
+            return
+        channels = pred.graph.cycle_channels(cycle)
+        shallowest = min(
+            (pred.graph.edges[i] for i in cycle.edges),
+            key=lambda e: (e.capacity, e.latency),
+        )
+        ctx.emit(
+            "PV401",
+            f"critical cycle sustains at best one token every "
+            f"{cycle.ratio} cycles (latency {cycle.latency}, capacity "
+            f"{cycle.capacity}) through {len(channels)} channels: "
+            f"{' -> '.join(ch.name for ch in channels[:4])}"
+            + (" -> ..." if len(channels) > 4 else ""),
+            location=f"circuit:{channels[0].name}",
+            hint=f"every added slot lowers the bound; the shallowest "
+            f"storage on the cycle is {shallowest.tag!r} "
+            f"(capacity {shallowest.capacity})",
+        )
+
+
+@register_pass
+class ValidationBandwidthPass(LintPass):
+    """PV402: arbiter bandwidth forces II > 1 on some loop."""
+
+    name = "perf-validation-bandwidth"
+    layer = "perf"
+    codes = ("PV402",)
+    requires = ("fn", "build")
+
+    def run(self, ctx: LintContext) -> None:
+        if ctx.has_ir_errors or not ctx.build.units:
+            return
+        for vp in _prediction(ctx).validation:
+            if vp.bound <= 1:
+                continue
+            ctx.emit(
+                "PV402",
+                f"unit {vp.unit} validates {vp.n_real_ops} unconditional "
+                f"member op(s) per iteration of loop {vp.loop} at "
+                f"{vp.validations_per_cycle}/cycle: II >= {vp.bound}",
+                location=f"circuit:{vp.unit}:{vp.loop}",
+                hint="raise prevv_validations_per_cycle or split the "
+                "group; no buffering can recover the lost bandwidth",
+            )
+
+
+@register_pass
+class QueuePressurePass(LintPass):
+    """PV403: premature queue shallower than the proven distance window."""
+
+    name = "perf-queue-pressure"
+    layer = "perf"
+    codes = ("PV403",)
+    requires = ("fn", "build")
+
+    def run(self, ctx: LintContext) -> None:
+        if ctx.has_ir_errors or not ctx.build.units:
+            return
+        for qp in _prediction(ctx).queues:
+            if not qp.undersized:
+                continue
+            ctx.emit(
+                "PV403",
+                f"unit {qp.unit} holds a depth-{qp.queue_depth} premature "
+                f"queue but the prover's distance window needs "
+                f"{qp.required_depth} entries",
+                location=f"circuit:{qp.unit}",
+                hint=f"prevv_depth={qp.required_depth} removes the "
+                "full-queue stalls (and the replay pressure they cause) "
+                "for this group",
+            )
+
+
+@register_pass
+class DivergencePass(LintPass):
+    """PV404: a static lower bound exceeded its measured counterpart."""
+
+    name = "perf-divergence"
+    layer = "perf"
+    codes = ("PV404",)
+    requires = ("fn", "build", "measured")
+
+    def run(self, ctx: LintContext) -> None:
+        if ctx.has_ir_errors:
+            return
+        from ..perf import compare
+
+        for rec in compare(_prediction(ctx), ctx.measured):
+            if rec.ok:
+                continue
+            margin = rec.static - rec.measured
+            ctx.emit(
+                "PV404",
+                f"{rec.kind} bound claims >= {rec.static} but the run "
+                f"measured {rec.measured} ({rec.note}; overshoot "
+                f"{margin})",
+                location=f"measured:{rec.subject}",
+                hint="the static model over-stated a latency or "
+                "under-stated a capacity; fix the perf_model, never "
+                "the measurement",
+            )

@@ -18,7 +18,7 @@ from ...ir.loops import Loop, dominators, find_loops
 from .diagnostics import Diagnostic, LintReport, Severity, make_diagnostic
 
 #: analysis layers in the order the driver runs them.
-LAYERS = ("ir", "circuit", "prevv", "sanitize")
+LAYERS = ("ir", "circuit", "prevv", "sanitize", "perf")
 
 
 class LintContext:
@@ -39,6 +39,7 @@ class LintContext:
         analysis=None,
         report: Optional[LintReport] = None,
         kernel=None,
+        measured=None,
     ):
         self.fn = fn
         self.circuit = circuit
@@ -47,6 +48,10 @@ class LintContext:
         #: Kernel descriptor (args + inputs + golden run) for sanitize-layer
         #: passes that validate static claims against the interpreter.
         self.kernel = kernel
+        #: :class:`~repro.analysis.perf.measure.PerfMeasurement` of a
+        #: simulated run, when the caller supplied one; gates the PV404
+        #: static-vs-measured divergence pass.
+        self.measured = measured
         #: scratch space shared across passes of one run (e.g. the prover's
         #: proofs, reused by the soundness cross-check).
         self.cache: Dict = {}

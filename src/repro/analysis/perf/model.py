@@ -1,0 +1,87 @@
+"""Ratio-graph construction: elastic circuit -> (latency, capacity) edges.
+
+The ratio graph has one node per component and one edge per channel.  A
+channel itself is a wire — it stores nothing and delays nothing — so each
+edge carries the *consumer's* traversal cost (:meth:`Component.perf_model`):
+a directed cycle then sums every on-cycle component's latency and capacity
+exactly once, which is what :func:`repro.analysis.perf.mcr.max_cycle_ratio`
+needs.  Multi-port components contribute their full capacity to each
+incoming edge; that over-states the capacity of cycles sharing the
+component, which per the soundness contract only weakens the bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ...dataflow.channel import Channel
+from ...dataflow.circuit import Circuit
+from ...dataflow.component import Component
+from .mcr import CriticalCycle, RatioEdge, max_cycle_ratio
+
+
+@dataclass
+class PerfGraph:
+    """The ratio graph of one circuit, keeping channel back-references.
+
+    ``edges[i]`` was built from ``channels[i]``; node indices are
+    positions in ``components`` (circuit construction order), so the
+    whole structure is deterministic for a given build.
+    """
+
+    components: List[Component]
+    channels: List[Channel]
+    edges: List[RatioEdge]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.components)
+
+    def critical_cycle(self) -> Optional[CriticalCycle]:
+        """The binding cycle (see :func:`max_cycle_ratio`), or ``None``."""
+        return max_cycle_ratio(self.n_nodes, self.edges)
+
+    def cycle_channels(self, cycle: CriticalCycle) -> List[Channel]:
+        """The channels along a critical cycle, in cycle order."""
+        return [self.channels[i] for i in cycle.edges]
+
+
+def perf_graph(circuit: Circuit) -> PerfGraph:
+    """Build the ratio graph of ``circuit``.
+
+    Channels with a dangling end (none exist in a validated circuit) are
+    skipped; every other channel becomes one edge weighted by its
+    consumer's :meth:`~repro.dataflow.component.Component.perf_model`.
+    """
+    index: Dict[int, int] = {id(c): i for i, c in enumerate(circuit.components)}
+    channels: List[Channel] = []
+    edges: List[RatioEdge] = []
+    for chan in circuit.channels:
+        if chan.producer is None or chan.consumer is None:
+            continue
+        latency, capacity = chan.consumer.perf_model()
+        channels.append(chan)
+        edges.append(
+            RatioEdge(
+                src=index[id(chan.producer)],
+                dst=index[id(chan.consumer)],
+                latency=latency,
+                capacity=capacity,
+                tag=chan.name,
+            )
+        )
+    return PerfGraph(
+        components=list(circuit.components), channels=channels, edges=edges
+    )
+
+
+def cycle_report(graph: PerfGraph, cycle: CriticalCycle) -> Dict[str, object]:
+    """JSON-friendly description of a critical cycle."""
+    return {
+        "ratio": None if cycle.ratio is None else str(cycle.ratio),
+        "latency": cycle.latency,
+        "capacity": cycle.capacity,
+        "combinational": cycle.is_combinational,
+        "channels": [graph.channels[i].name for i in cycle.edges],
+    }

@@ -1,0 +1,152 @@
+"""Static performance prediction for one compiled kernel.
+
+:func:`predict` bundles the two static analyses — the ratio graph's
+maximum cycle ratio (:mod:`repro.analysis.perf.model`) and the PreVV
+pressure models (:mod:`repro.analysis.perf.pressure`) — into one
+:class:`PerfPrediction`.  Every number it reports is a *lower* bound:
+
+* :attr:`PerfPrediction.ii_lower_bound` — steady-state cycles per firing
+  of the circuit's critical cycle (the maximum latency/capacity ratio,
+  floored at 1: no channel fires twice in one clock).  ``None`` when a
+  combinational cycle makes the constraint infinite.
+* :meth:`PerfPrediction.cycles_lower_bound` — total-cycle bound given
+  per-loop iteration counts.  Only constraints whose loop attribution is
+  statically known enter: the floor (each loop-header firing takes a
+  cycle) and the validation-bandwidth sums.  The graph bound is *not*
+  multiplied into it — a static analysis cannot know how often the
+  critical cycle fires per kernel run — and is instead cross-checked
+  against the cycle's own measured channel transfers
+  (:func:`repro.analysis.perf.measure.compare`).
+
+The bound direction is the whole point: the autotuner can discard any
+configuration whose predicted floor already exceeds the best measured
+candidate, without ever simulating it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from ...ir.function import Function
+from .mcr import CriticalCycle
+from .model import PerfGraph, cycle_report, perf_graph
+from .pressure import (
+    QueuePressure,
+    ValidationPressure,
+    queue_pressure,
+    validation_pressure,
+)
+
+
+@dataclass
+class PerfPrediction:
+    """Static performance facts of one compiled kernel."""
+
+    subject: str
+    graph: PerfGraph
+    #: binding cycle of the ratio graph; ``None`` when no constrained
+    #: cycle exists (a straight-line circuit)
+    cycle: Optional[CriticalCycle]
+    validation: List[ValidationPressure] = field(default_factory=list)
+    queues: List[QueuePressure] = field(default_factory=list)
+
+    @property
+    def ii_lower_bound(self) -> Optional[Fraction]:
+        """Cycles per critical-cycle firing; ``None`` if infinite."""
+        if self.cycle is not None and self.cycle.is_combinational:
+            return None
+        floor = Fraction(1)
+        if self.cycle is not None and self.cycle.ratio > floor:
+            return self.cycle.ratio
+        return floor
+
+    def validation_bound_for(self, loop: str) -> Fraction:
+        """Provable II bound of one loop from validation bandwidth."""
+        bounds = [v.bound for v in self.validation if v.loop == loop]
+        return max(bounds) if bounds else Fraction(0)
+
+    def cycles_lower_bound(self, loop_activations: Dict[str, int]) -> Fraction:
+        """Sound total-cycle bound given per-loop iteration counts.
+
+        ``loop_activations`` maps loop header block names to body-entry
+        counts (:attr:`repro.ir.interpreter.InterpResult.loop_activations`).
+        """
+        best = Fraction(0)
+        for iters in loop_activations.values():
+            best = max(best, Fraction(iters))
+        # Validation work sums across loops: the unit processes at most
+        # validations_per_cycle real ops per clock, whatever loop they
+        # came from.
+        per_unit: Dict[str, Fraction] = {}
+        for vp in self.validation:
+            iters = loop_activations.get(vp.loop)
+            if iters is None:
+                continue
+            work = Fraction(iters * vp.n_real_ops, vp.validations_per_cycle)
+            per_unit[vp.unit] = per_unit.get(vp.unit, Fraction(0)) + work
+        for total in per_unit.values():
+            best = max(best, total)
+        return best
+
+    def to_dict(self) -> Dict[str, object]:
+        ii = self.ii_lower_bound
+        return {
+            "subject": self.subject,
+            "ii_lower_bound": None if ii is None else str(ii),
+            "critical_cycle": (
+                None
+                if self.cycle is None
+                else cycle_report(self.graph, self.cycle)
+            ),
+            "validation": [
+                {
+                    "unit": v.unit,
+                    "array": v.array,
+                    "loop": v.loop,
+                    "n_real_ops": v.n_real_ops,
+                    "n_conditional": v.n_conditional,
+                    "validations_per_cycle": v.validations_per_cycle,
+                    "bound": str(v.bound),
+                }
+                for v in self.validation
+            ],
+            "queues": [
+                {
+                    "unit": q.unit,
+                    "array": q.array,
+                    "queue_depth": q.queue_depth,
+                    "required_depth": q.required_depth,
+                    "unknown_pairs": q.unknown_pairs,
+                    "undersized": q.undersized,
+                }
+                for q in self.queues
+            ],
+        }
+
+
+def predict(
+    build,
+    fn: Optional[Function] = None,
+    args: Optional[Dict[str, int]] = None,
+) -> PerfPrediction:
+    """Statically predict the performance of a compiled kernel.
+
+    ``fn``/``args`` enable the PreVV pressure models; without them (or
+    for non-PreVV builds) the prediction carries the graph bound only.
+    """
+    graph = perf_graph(build.circuit)
+    cycle = graph.critical_cycle()
+    validation: List[ValidationPressure] = []
+    queues: List[QueuePressure] = []
+    if fn is not None and build.units:
+        validation = validation_pressure(build, fn)
+        queues = queue_pressure(build, fn, args or {})
+    return PerfPrediction(
+        subject=build.circuit.name,
+        graph=graph,
+        cycle=cycle,
+        validation=validation,
+        queues=queues,
+    )

@@ -1,0 +1,159 @@
+"""PreVV pressure models: validation bandwidth and premature-queue depth.
+
+Two II constraints live in the PreVV unit rather than in the elastic
+netlist, so the ratio graph of :mod:`repro.analysis.perf.model` cannot
+see them:
+
+* **Validation bandwidth** — the arbiter validates at most
+  ``validations_per_cycle`` *real* operations per clock (fake and done
+  markers ride a separate counter-update path, Sec. V-C).  A member
+  operation whose block executes on every iteration of its innermost
+  loop injects one real operation per iteration, so a loop with ``n``
+  such members forces ``II >= n / validations_per_cycle`` on that loop.
+  Conditional members may send fakes instead and are excluded — counting
+  them would over-state the pressure and break the lower-bound contract.
+
+* **Queue depth** — the premature queue holds every premature operation
+  until the watermark retires it.  When PVSan's dependence prover bounds
+  a pair's aliasing distance, ``next_pow2(n_ops * distance)`` slots are
+  known sufficient (:class:`~repro.analysis.sanitizer.prover.PairProof`
+  ``.depth_bound``); a shallower queue fills up and stalls the arbiter
+  before the distance window closes.  This is backpressure, not a clean
+  per-iteration ratio, so it stays an advisory (PV403) rather than a
+  term of the proven II bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from ...ir.function import Function
+from ...ir.loops import back_edges, dominators, find_loops, innermost_loop_of
+from ..sanitizer.prover import DependenceProver, PairClass
+
+
+@dataclass(frozen=True)
+class ValidationPressure:
+    """Validation-bandwidth II bound for one (unit, innermost loop)."""
+
+    unit: str            # PreVV unit component name
+    array: str
+    loop: str            # header block name of the innermost loop
+    n_real_ops: int      # members issuing a real op every iteration
+    n_conditional: int   # members that may fake (excluded from the bound)
+    validations_per_cycle: int
+
+    @property
+    def bound(self) -> Fraction:
+        """Provable II lower bound of ``loop``, in cycles/iteration."""
+        return Fraction(self.n_real_ops, self.validations_per_cycle)
+
+
+@dataclass(frozen=True)
+class QueuePressure:
+    """Premature-queue sizing verdict for one PreVV unit."""
+
+    unit: str
+    array: str
+    queue_depth: int
+    #: max sufficient depth over the group's bounded-distance pairs;
+    #: ``None`` when no pair has a proven distance
+    required_depth: Optional[int]
+    #: pairs whose distance stays unproven (no static sizing possible)
+    unknown_pairs: int
+
+    @property
+    def undersized(self) -> bool:
+        return (
+            self.required_depth is not None
+            and self.queue_depth < self.required_depth
+        )
+
+
+def _unconditional(fn: Function, loops, doms, block) -> bool:
+    """True when ``block`` runs on every iteration of its innermost loop.
+
+    Mirrors the builder's fake-token criterion (``_needs_fake``): the
+    block executes each iteration iff it dominates every back-edge tail.
+    """
+    loop = innermost_loop_of(loops, block)
+    if loop is None:
+        return False
+    tails = [t for t, h in back_edges(fn) if h is loop.header]
+    return all(block in doms.get(t, set()) for t in tails)
+
+
+def _block_of(fn: Function, inst):
+    for block in fn.blocks:
+        if inst in block.instructions:
+            return block
+    raise ValueError(f"{inst!r} not found in {fn.name}")
+
+
+def validation_pressure(build, fn: Function) -> List[ValidationPressure]:
+    """Per-(unit, loop) validation-bandwidth bounds of a PreVV build.
+
+    ``build.units[i]`` serves ``build.groups[i]`` (same construction
+    order); empty for non-PreVV builds.
+    """
+    loops = find_loops(fn)
+    doms = dominators(fn)
+    out: List[ValidationPressure] = []
+    for unit, group in zip(build.units, build.groups):
+        per_loop: Dict[str, List[int]] = {}  # header -> [real, conditional]
+        for op in list(group.loads) + list(group.stores):
+            block = _block_of(fn, op)
+            loop = innermost_loop_of(loops, block)
+            if loop is None:
+                continue
+            counts = per_loop.setdefault(loop.header.name, [0, 0])
+            if _unconditional(fn, loops, doms, block):
+                counts[0] += 1
+            else:
+                counts[1] += 1
+        for header in sorted(per_loop):
+            real, cond = per_loop[header]
+            out.append(
+                ValidationPressure(
+                    unit=unit.name,
+                    array=group.array,
+                    loop=header,
+                    n_real_ops=real,
+                    n_conditional=cond,
+                    validations_per_cycle=unit.validations_per_cycle,
+                )
+            )
+    return out
+
+
+def queue_pressure(
+    build, fn: Function, args: Dict[str, int]
+) -> List[QueuePressure]:
+    """Premature-queue sizing verdicts from the PVSan dependence prover."""
+    if not build.units:
+        return []
+    prover = DependenceProver(fn, args, build.analysis)
+    proofs = {id(p.pair): p for p in prover.prove_all()}
+    out: List[QueuePressure] = []
+    for unit, group in zip(build.units, build.groups):
+        required: Optional[int] = None
+        unknown = 0
+        for pair in group.pairs:
+            proof = proofs.get(id(pair))
+            if proof is None or proof.classification is PairClass.UNKNOWN:
+                unknown += 1
+            elif proof.classification is PairClass.BOUNDED_DISTANCE:
+                if required is None or proof.depth_bound > required:
+                    required = proof.depth_bound
+        out.append(
+            QueuePressure(
+                unit=unit.name,
+                array=group.array,
+                queue_depth=unit.queue.depth,
+                required_depth=required,
+                unknown_pairs=unknown,
+            )
+        )
+    return out

@@ -262,6 +262,96 @@ def run_sanitize_sweep(quick: bool = True, jobs: int = 1,
     }
 
 
+# ----------------------------------------------------------------------
+# PVPerf cross-validation sweep: ``python -m repro.bench --perf``
+# ----------------------------------------------------------------------
+#: Configuration axis for the perf sweep: the paper's full evaluation
+#: grid, so every static bound is exercised against both baselines and
+#: both PreVV depths.
+PERF_CONFIG_NAMES = ("dynamatic", "fast_lsq", "prevv16", "prevv64")
+
+
+def _perf_worker(args):
+    kname, config, sizes, max_cycles = args
+    from ..analysis.perf import compare, measure_kernel
+
+    prediction, measurement = measure_kernel(
+        kname, config, sizes=sizes, max_cycles=max_cycles
+    )
+    checks = [rec.to_dict() for rec in compare(prediction, measurement)]
+    ii = prediction.ii_lower_bound
+    return {
+        "kernel": kname,
+        "config": config.name,
+        "cycles": measurement.cycles,
+        "ii_lower_bound": None if ii is None else str(ii),
+        "critical_cycle": (
+            None
+            if prediction.cycle is None
+            else {
+                "ratio": (
+                    None
+                    if prediction.cycle.ratio is None
+                    else str(prediction.cycle.ratio)
+                ),
+                "latency": prediction.cycle.latency,
+                "capacity": prediction.cycle.capacity,
+                "channels": [
+                    ch.name
+                    for ch in prediction.graph.cycle_channels(prediction.cycle)
+                ],
+            }
+        ),
+        "checks": checks,
+        "divergences": sum(1 for c in checks if not c["ok"]),
+    }
+
+
+def run_perf_sweep(quick: bool = True, jobs: int = 1,
+                   kernels: Optional[Sequence[str]] = None,
+                   configs: Optional[Sequence[str]] = None,
+                   max_cycles: int = 2_000_000) -> Dict:
+    """Cross-validate the PVPerf static bounds over the full grid.
+
+    Every point pairs each static lower bound with the quantity it
+    constrains (critical-cycle firings, validation work, loop floors —
+    see :func:`repro.analysis.perf.measure.compare`) and counts
+    divergences.  A nonzero divergence count means the *static model*
+    is unsound — the same condition PV404 raises — so the sweep is the
+    dynamic regression gate for every ``perf_model`` in the component
+    library.  Covers every registered kernel: soundness has no reason
+    to sample.
+    """
+    from ..kernels import kernel_names
+
+    knames = list(kernels or kernel_names())
+    grid_configs = [
+        _sanitize_config(name) for name in (configs or PERF_CONFIG_NAMES)
+    ]
+    work = [
+        (kname, cfg, QUICK_SIZES.get(kname) if quick else None, max_cycles)
+        for kname in knames
+        for cfg in grid_configs
+    ]
+    started = time.perf_counter()
+    if jobs > 1 and len(work) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+            points: List[Dict] = list(pool.map(_perf_worker, work))
+    else:
+        points = [_perf_worker(w) for w in work]
+    divergences = sum(p["divergences"] for p in points)
+    return {
+        "bench": "perf",
+        "quick": quick,
+        "configs": [c.name for c in grid_configs],
+        "total_wall_s": round(time.perf_counter() - started, 3),
+        "points": points,
+        "divergences": divergences,
+    }
+
+
 def time_table2(quick: bool = True) -> Dict:
     """Time a full single-process ``table2`` run (compile + simulate).
 
@@ -356,9 +446,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="run the PVSan oracle sweep instead of the "
                         "timing grid; non-zero exit on any oracle "
                         "mismatch or memory divergence")
+    parser.add_argument("--perf", action="store_true",
+                        help="run the PVPerf cross-validation sweep "
+                        "instead of the timing grid; non-zero exit when "
+                        "any static II bound exceeds its measured "
+                        "counterpart")
     opts = parser.parse_args(argv)
 
     configs = opts.configs.split(",") if opts.configs else None
+    if opts.perf:
+        result = run_perf_sweep(quick=opts.quick, jobs=opts.jobs,
+                                kernels=None, configs=configs)
+        out = opts.out
+        if out == "BENCH_simulator.json":
+            out = "BENCH_perf.json"
+        with open(out, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        for point in result["points"]:
+            status = "ok" if point["divergences"] == 0 else "DIVERGED"
+            cyc = point["critical_cycle"]
+            ratio = cyc["ratio"] if cyc is not None else "-"
+            print(
+                f"{point['kernel']:12s} {point['config']:10s} "
+                f"{point['cycles']:>8d} cyc  ii_lb={point['ii_lower_bound']:<5s} "
+                f"mcr={ratio:<5s} {len(point['checks'])} checks  {status}"
+            )
+            for check in point["checks"]:
+                if not check["ok"]:
+                    print(
+                        f"    DIVERGENCE {check['kind']}: static "
+                        f"{check['static']} > measured {check['measured']} "
+                        f"({check['subject']})"
+                    )
+        print(
+            f"perf sweep: {len(result['points'])} points, "
+            f"{result['divergences']} divergence(s) in "
+            f"{result['total_wall_s']:.2f}s; wrote {out}"
+        )
+        return 1 if result["divergences"] else 0
     if opts.sanitize:
         result = run_sanitize_sweep(quick=opts.quick, jobs=opts.jobs,
                                     kernels=None, configs=configs)

@@ -180,6 +180,12 @@ class Operator(Component):
             and any(t is not None for t in self._pipe)
         )
 
+    def perf_model(self):
+        # Fully pipelined: latency stages, each holding one token.
+        if self.latency == 0:
+            return (0, 0)
+        return (self.latency, self.latency)
+
     @property
     def resource_params(self):
         return {"width": self.width, "n": self.n_inputs, "latency": self.latency}

@@ -67,6 +67,9 @@ class OpaqueBuffer(Component):
         if self._slot is not None and self._slot.is_squashed_by(domain, min_iter):
             self._slot = None
 
+    def perf_model(self):
+        return (1, 1)  # registered slot: one cycle, one token
+
     @property
     def occupancy(self) -> int:
         return 0 if self._slot is None else 1
@@ -130,6 +133,9 @@ class TransparentBuffer(Component):
     def flush(self, domain: int, min_iter: int) -> None:
         if self._slot is not None and self._slot.is_squashed_by(domain, min_iter):
             self._slot = None
+
+    def perf_model(self):
+        return (0, 1)  # combinational pass-through with one parking slot
 
     @property
     def occupancy(self) -> int:
@@ -203,6 +209,9 @@ class TransparentFifo(Component):
             t for t in self._items if not t.is_squashed_by(domain, min_iter)
         )
 
+    def perf_model(self):
+        return (0, self.depth)  # zero-latency when empty, depth slots
+
     @property
     def occupancy(self) -> int:
         return len(self._items)
@@ -258,6 +267,9 @@ class Fifo(Component):
         self._items = deque(
             t for t in self._items if not t.is_squashed_by(domain, min_iter)
         )
+
+    def perf_model(self):
+        return (1, self.depth)  # registered FIFO: one cycle, depth slots
 
     @property
     def occupancy(self) -> int:

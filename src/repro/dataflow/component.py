@@ -163,6 +163,31 @@ class Component:
         return False
 
     # ------------------------------------------------------------------
+    # Performance-model interface (PVPerf, :mod:`repro.analysis.perf`)
+    # ------------------------------------------------------------------
+    def perf_model(self):
+        """``(latency, capacity)`` of a token traversing this component.
+
+        ``latency`` is the minimum number of clock edges between a token
+        entering on an input channel and the derived token appearing on
+        an output channel; ``capacity`` is the maximum number of tokens
+        the component can hold in flight, with ``None`` meaning the
+        model cannot bound it (unbounded storage constrains no cycle).
+
+        Soundness contract for overrides: PVPerf divides cycle latency
+        by cycle capacity to obtain an II *lower* bound, so when exact
+        values are unknown, **under**-state latency and **over**-state
+        capacity — both weaken the bound, neither can make it unsound.
+        The default uses the scheduling contract: a combinational
+        pass-through (observes its input valids and forwards them) holds
+        nothing and adds no delay; anything driven from sequential state
+        is storage of unknown depth.
+        """
+        if self.observes_input_valid and self.forwards_valid:
+            return (0, 0)
+        return (0, None)
+
+    # ------------------------------------------------------------------
     # Area-model interface
     # ------------------------------------------------------------------
     #: Cost-library key; ``None`` means zero-cost (simulation-only helper).

@@ -107,6 +107,11 @@ class InterpResult:
     return_value: Optional[int]
     trace: MemoryTrace
     executed_instructions: int
+    #: total body activations per loop, keyed by header block name; the
+    #: count a circuit DomainGate reaches for the same loop.  PVPerf pairs
+    #: these against measured cycle counts to cross-check its static II
+    #: bounds.  Empty when the run was traced with ``record_trace=False``.
+    loop_activations: Dict[str, int] = field(default_factory=dict)
 
 
 class Interpreter:
@@ -157,6 +162,7 @@ class Interpreter:
         header_loop: Dict[int, object] = {}
         inner_loop: Dict[int, object] = {}
         activations: Dict[int, int] = {}
+        loops = []
         if record_trace:
             loops = find_loops(fn)
             for loop in loops:
@@ -236,7 +242,13 @@ class Interpreter:
                         if inst.value is not None
                         else None
                     )
-                    return InterpResult(mem, ret, trace, steps)
+                    return InterpResult(
+                        mem, ret, trace, steps,
+                        loop_activations={
+                            loop.header.name: activations.get(id(loop), -1) + 1
+                            for loop in loops
+                        },
+                    )
                 else:  # pragma: no cover - defensive
                     raise InterpreterError(f"cannot interpret {inst!r}")
 

@@ -378,6 +378,12 @@ class LoadStoreQueue(Component):
             or any(self._responses[i] for i in self._responses)
         )
 
+    def perf_model(self):
+        # Matured responses park in unbounded queues while the consumer
+        # stalls; like the memory controller, the LSQ therefore cannot
+        # bound any token-flow cycle it sits on.
+        return (1, None)
+
     @property
     def resource_params(self):
         return {

@@ -224,6 +224,13 @@ class MemoryController(Component):
     def is_busy(self) -> bool:
         return any(self._responses[i] for i in range(self.n_loads))
 
+    def perf_model(self):
+        # The response queues accumulate without bound while a consumer
+        # stalls, so the capacity cannot be bounded: a token-flow cycle
+        # through the controller imposes no II constraint (PVPerf drops
+        # unbounded edges from the ratio graph).
+        return (min(1, self.load_latency), None)
+
     @property
     def pending_ops(self) -> int:
         return sum(len(q) for q in self._responses)

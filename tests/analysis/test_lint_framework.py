@@ -112,9 +112,9 @@ class TestLintReport:
 
 
 class TestRegistry:
-    def test_all_passes_cover_four_layers(self):
+    def test_all_passes_cover_five_layers(self):
         layers = {p.layer for p in all_passes()}
-        assert layers == {"ir", "circuit", "prevv", "sanitize"}
+        assert layers == {"ir", "circuit", "prevv", "sanitize", "perf"}
 
     def test_every_declared_code_exists(self):
         declared = {c for p in all_passes() for c in p.codes}
@@ -214,7 +214,9 @@ class TestCli:
         warned = LintReport(subject="w")
         warned.add(make_diagnostic("PV201", "sizing nit"))
         monkeypatch.setattr(
-            cli_mod, "lint_kernel", lambda name, config: warned
+            cli_mod,
+            "lint_kernel",
+            lambda name, config, measured=None: warned,
         )
         assert lint_main(["vadd", "--config", "prevv"]) == 2
 

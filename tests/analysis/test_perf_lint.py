@@ -1,0 +1,179 @@
+"""The PV4xx perf lint layer: registration, CLI surface, timings, triggers."""
+
+import json
+
+from repro.analysis.lint import lint_kernel
+from repro.analysis.lint.cli import main as lint_main
+from repro.analysis.lint.diagnostics import CODES, Severity
+from repro.analysis.lint.registry import LAYERS, all_passes
+from repro.analysis.perf import PerfMeasurement
+from repro.config import HardwareConfig
+from repro.eval.configs import BY_NAME
+
+PERF_PASSES = {
+    "perf-critical-cycle": ("PV401",),
+    "perf-validation-bandwidth": ("PV402",),
+    "perf-queue-pressure": ("PV403",),
+    "perf-divergence": ("PV404",),
+}
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+class TestRegistration:
+    def test_perf_is_the_last_layer(self):
+        assert LAYERS[-1] == "perf"
+
+    def test_pv4xx_codes_exist_with_expected_severities(self):
+        for code in ("PV401", "PV402", "PV403"):
+            assert CODES[code][0] is Severity.WARNING
+        # An unsound bound is a bug in the analysis itself, not advice.
+        assert CODES["PV404"][0] is Severity.ERROR
+
+    def test_perf_passes_registered(self):
+        by_name = {p.name: p for p in all_passes()}
+        for name, codes in PERF_PASSES.items():
+            assert name in by_name, name
+            assert by_name[name].layer == "perf"
+            assert tuple(by_name[name].codes) == codes
+
+    def test_divergence_pass_requires_a_measurement(self):
+        by_name = {p.name: p for p in all_passes()}
+        assert "measured" in by_name["perf-divergence"].requires
+
+
+# ----------------------------------------------------------------------
+# CLI: --list, --timings, deterministic JSONL
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_list_enumerates_every_pass(self, capsys):
+        assert lint_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        lines = [ln for ln in out.splitlines() if ln.strip()]
+        # header + one row per registered pass
+        assert len(lines) == 1 + len(all_passes())
+        for name in PERF_PASSES:
+            assert name in out
+        assert "warning" in out and "error" in out
+
+    def test_list_is_sorted_by_layer_then_name(self, capsys):
+        lint_main(["--list"])
+        rows = capsys.readouterr().out.splitlines()[1:]
+        order = {layer: i for i, layer in enumerate(LAYERS)}
+        keys = []
+        for row in rows:
+            name, layer = row.split()[0], row.split()[1]
+            keys.append((order[layer], name))
+        assert keys == sorted(keys)
+
+    def test_list_rows_carry_a_summary_doc(self, capsys):
+        lint_main(["--list"])
+        rows = capsys.readouterr().out.splitlines()[1:]
+        for row in rows:
+            # four columns: name, layer, severity, non-empty summary
+            parts = row.split(None, 3)
+            assert len(parts) == 4, row
+            assert not parts[3].endswith("."), row
+
+    def test_timings_flag_prints_per_pass_wall_time(self, capsys):
+        assert lint_main(["fig2b", "--config", "prevv", "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "ms" in out
+        assert "perf-critical-cycle" in out
+
+    def test_perf_flag_arms_pv404_and_stays_clean(self, capsys):
+        assert lint_main(["fig2b", "--config", "prevv", "--perf"]) == 0
+
+    def test_jsonl_output_is_deterministically_sorted(self, capsys):
+        # vadd under prevv emits PV2xx warnings -> a multi-record stream.
+        args = ["vadd", "--config", "prevv", "--format", "json"]
+        lint_main(args)
+        first = capsys.readouterr().out
+        lint_main(args)
+        second = capsys.readouterr().out
+        assert first == second
+        records = [json.loads(ln) for ln in first.splitlines() if ln]
+        keys = [
+            (r["subject"], r["code"], r["location"], r["message"], r["pass"])
+            for r in records
+        ]
+        assert keys == sorted(keys)
+
+
+# ----------------------------------------------------------------------
+# Timings in the report object
+# ----------------------------------------------------------------------
+class TestTimings:
+    def test_report_records_every_executed_pass(self):
+        report = lint_kernel("fig2b", BY_NAME["prevv16"])
+        assert report.timings
+        assert all(t >= 0 for t in report.timings.values())
+        assert "perf-critical-cycle" in report.timings
+        assert "perf-divergence" not in report.timings  # no measurement
+
+    def test_timings_survive_to_dict(self):
+        report = lint_kernel("fig2b", BY_NAME["prevv16"])
+        payload = report.to_dict()
+        assert set(payload["timings"]) == set(report.timings)
+
+    def test_format_timings_is_slowest_first(self):
+        report = lint_kernel("fig2b", BY_NAME["prevv16"])
+        rows = report.format_timings().splitlines()[1:]
+        values = [float(row.split()[-2]) for row in rows]
+        assert values == sorted(values, reverse=True)
+
+
+# ----------------------------------------------------------------------
+# Pass triggers
+# ----------------------------------------------------------------------
+class TestTriggers:
+    def test_pv403_on_shallow_premature_queue(self):
+        # fig2b's proven distance window needs more than two entries, so
+        # a depth-2 queue must draw the replay-pressure warning.
+        config = HardwareConfig(memory_style="prevv", prevv_depth=2)
+        report = lint_kernel("fig2b", config)
+        hits = [d for d in report.diagnostics if d.code == "PV403"]
+        assert hits
+        assert "prevv_depth=" in hits[0].hint
+
+    def test_pv403_silent_at_sufficient_depth(self):
+        report = lint_kernel("fig2b", BY_NAME["prevv64"])
+        assert not [d for d in report.diagnostics if d.code == "PV403"]
+
+    def test_pv404_fires_on_an_impossible_measurement(self):
+        # A doctored measurement that claims the whole run took one cycle
+        # must trip the floor check: the static bound exceeds it.
+        config = BY_NAME["prevv16"]
+        fake = PerfMeasurement(
+            subject="doctored",
+            cycles=1,
+            channel_transfers={},
+            loop_activations={"body": 1_000_000},
+        )
+        report = lint_kernel("fig2b", config, measured=fake)
+        hits = [d for d in report.diagnostics if d.code == "PV404"]
+        assert hits
+        assert hits[0].severity is Severity.ERROR
+        assert report.errors
+
+    def test_pv404_absent_without_measurement(self):
+        report = lint_kernel("fig2b", BY_NAME["prevv16"])
+        assert not [d for d in report.diagnostics if d.code == "PV404"]
+
+
+def test_pv402_math_on_synthetic_pressure():
+    """A unit with more unconditional ops than bandwidth must bound II > 1."""
+    from fractions import Fraction
+
+    from repro.analysis.perf import ValidationPressure
+
+    vp = ValidationPressure(
+        unit="pv0",
+        array="a",
+        loop="body",
+        n_real_ops=3,
+        n_conditional=1,
+        validations_per_cycle=2,
+    )
+    assert vp.bound == Fraction(3, 2)
