@@ -329,3 +329,85 @@ class DoneTokenCoveragePass(LintPass):
                         hint="attach a DoneTokenGenerator on the loop-nest "
                         "exit edge",
                     )
+
+
+@register_pass
+class CodegenCompilabilityPass(LintPass):
+    """PV208: compiler fallbacks must be visible, not silent.
+
+    Engine selection quietly falls back to the interpreted engine when
+    the step-code compiler (:mod:`repro.dataflow.codegen`) declines a
+    circuit — correct, but a throughput cliff the user asked to avoid by
+    requesting ``engine="compiled"``.  This pass reports *why* a circuit
+    would be declined: component classes outside the audited codegen set
+    (or lacking the audit marker), instance-level ``propagate``/``tick``
+    patches that defeat the emitted templates, and cyclic valid/ready
+    residue that breaks the two-phase static schedule.
+    """
+
+    name = "circuit-codegen-compilability"
+    layer = "circuit"
+    codes = ("PV208",)
+    requires = ("circuit",)
+
+    def run(self, ctx: LintContext) -> None:
+        from ...dataflow.codegen import class_support, why_not_compilable
+
+        flagged_classes: Set[type] = set()
+        structural = False
+        for comp in ctx.circuit.components:
+            cls = type(comp)
+            if cls not in flagged_classes:
+                if class_support(cls) is None:
+                    flagged_classes.add(cls)
+                    structural = True
+                    ctx.emit(
+                        "PV208",
+                        f"component class {cls.__name__} (e.g. "
+                        f"{comp.name!r}) is not in the audited codegen "
+                        "set; the compiled engine will decline this "
+                        "circuit",
+                        location=_cloc(ctx, comp),
+                        hint="audit the class' propagate/tick bodies, add "
+                        "an inline template or pre-bound call entry in "
+                        "repro.dataflow.codegen, and mark "
+                        "scheduling_contract_audited",
+                    )
+                elif not getattr(cls, "scheduling_contract_audited", False):
+                    flagged_classes.add(cls)
+                    structural = True
+                    ctx.emit(
+                        "PV208",
+                        f"component class {cls.__name__} (e.g. "
+                        f"{comp.name!r}) is in the codegen set but its "
+                        "scheduling contract is not audited",
+                        location=_cloc(ctx, comp),
+                        hint="set scheduling_contract_audited = True after "
+                        "checking the contract flags (PV207 documents the "
+                        "audit)",
+                    )
+            for meth in ("propagate", "tick"):
+                if meth in comp.__dict__:
+                    structural = True
+                    ctx.emit(
+                        "PV208",
+                        f"{comp.name!r} carries an instance-level {meth} "
+                        "override; the compiled engine will decline this "
+                        "circuit",
+                        location=_cloc(ctx, comp),
+                        hint="instance patches defeat the emitted "
+                        "templates; move the behaviour into an audited "
+                        "class",
+                    )
+        if structural:
+            return  # per-component diagnostics already explain the decline
+        reason = why_not_compilable(ctx.circuit)
+        if reason is not None:
+            ctx.emit(
+                "PV208",
+                f"circuit is not compilable: {reason}",
+                location=ctx.circuit.name,
+                hint="the two-phase emitted schedule needs an acyclic "
+                "valid network and a TEHB-cut ready network (same "
+                "conditions as the incremental engine)",
+            )

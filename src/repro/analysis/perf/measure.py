@@ -30,7 +30,7 @@ from fractions import Fraction
 from typing import Dict, List, Optional
 
 from ...compile import compile_function
-from ...dataflow import Simulator
+from ...dataflow import make_simulator
 from ...eval.runner import make_done_condition
 from ...ir.interpreter import run_golden
 from ...kernels import get_kernel
@@ -81,12 +81,16 @@ def measure_kernel(
     config,
     sizes: Optional[Dict[str, int]] = None,
     max_cycles: int = 2_000_000,
+    engine: str = "auto",
 ):
     """Compile, predict, interpret and simulate one (kernel, config).
 
     Returns ``(prediction, measurement)`` ready for :func:`compare`.
-    The simulation runs the stats-collecting engine — per-channel
-    transfer counts are what anchors the graph check.
+    The checks need per-channel *transfer* counts only, which the
+    compiled engine supplies through its fused counters
+    (``count_transfers``); interpreted engines fall back to the full
+    stats-collecting path.  ``engine="auto"`` therefore measures with
+    the compiled engine whenever the compiler accepts the circuit.
     """
     kernel = get_kernel(kernel_name, **(sizes or {}))
     fn = kernel.build_ir()
@@ -96,7 +100,8 @@ def measure_kernel(
     golden = run_golden(fn, args=kernel.args, memory=kernel.memory_init)
 
     build.memory.initialize(kernel.memory_init)
-    sim = Simulator(build.circuit, max_cycles=max_cycles, collect_stats=True)
+    sim = make_simulator(build.circuit, engine=engine,
+                         max_cycles=max_cycles, count_transfers=True)
     if build.squash_controller is not None:
         sim.end_of_cycle_hooks.append(build.squash_controller.end_of_cycle)
     stats = sim.run(make_done_condition(build))

@@ -14,7 +14,7 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from ..compile import compile_function
-from ..dataflow import Simulator
+from ..dataflow import ENGINES, make_simulator
 from ..eval.configs import ALL_CONFIGS
 from ..eval.runner import make_done_condition
 from ..kernels import PAPER_KERNELS, get_kernel
@@ -71,31 +71,48 @@ def _instrument_attribution(circuit) -> Dict[str, Dict]:
 
 
 def bench_point(kernel_name: str, config, sizes: Optional[Dict[str, int]],
-                max_cycles: int = 2_000_000, profile: bool = False) -> Dict:
-    """Time one (kernel, config) point with the stat-free fast path."""
+                max_cycles: int = 2_000_000, profile: bool = False,
+                engine: str = "incremental") -> Dict:
+    """Time one (kernel, config, engine) point with the stat-free path.
+
+    Profile runs install instance-level propagate wrappers, which the
+    codegen compiler (rightly) declines, so they force the interpreted
+    engine regardless of ``engine``.  The point records both the engine
+    *requested* and the engine actually used — a compiled request that
+    fell back to the interpreter must be visible in the JSON, not buried
+    in an implausible throughput number.
+    """
     kernel = get_kernel(kernel_name, **(sizes or {}))
     fn = kernel.build_ir()
     build = compile_function(fn, config, args=kernel.args)
     build.memory.initialize(kernel.memory_init)
-    sim = Simulator(build.circuit, max_cycles=max_cycles,
-                    collect_stats=False)
-    if build.squash_controller is not None:
-        sim.end_of_cycle_hooks.append(build.squash_controller.end_of_cycle)
     attribution = (
         _instrument_attribution(build.circuit) if profile else None
     )
+    sim = make_simulator(
+        build.circuit,
+        engine="levelized" if profile else engine,
+        max_cycles=max_cycles,
+    )
+    if build.squash_controller is not None:
+        sim.end_of_cycle_hooks.append(build.squash_controller.end_of_cycle)
     started = time.perf_counter()
     stats = sim.run(make_done_condition(build))
     wall = time.perf_counter() - started
     point = {
         "kernel": kernel_name,
         "config": config.name,
+        "engine": sim.engine_name,
+        "engine_requested": engine,
         "wall_s": round(wall, 4),
         "cycles": stats.cycles,
         "cycles_per_sec": round(stats.cycles / wall) if wall > 0 else None,
         "propagate_calls": stats.propagate_calls,
         "propagate_calls_per_cycle": round(
             stats.propagate_calls / max(1, stats.cycles), 3
+        ),
+        "evals_per_sec": (
+            round(stats.propagate_calls / wall) if wall > 0 else None
         ),
     }
     if attribution is not None:
@@ -129,13 +146,16 @@ def _bench_worker(args):
 def run_bench(quick: bool = True, jobs: int = 1,
               kernels: Optional[Sequence[str]] = None,
               configs: Optional[Sequence[str]] = None,
-              profile: bool = False) -> Dict:
+              profile: bool = False,
+              engines: Optional[Sequence[str]] = None) -> Dict:
     """Run the full grid; returns the BENCH_simulator.json payload.
 
     ``configs`` filters the hardware-configuration axis by name (e.g.
     ``["prevv16", "prevv64"]`` for the PreVV-only CI gate); ``profile``
     adds per-component-class propagate time/eval attribution to every
     point (and inflates wall clocks — see ``_instrument_attribution``).
+    ``engines`` adds an engine axis: one point per engine per (kernel,
+    config), so cross-engine comparisons live in one report.
     """
     knames = list(kernels or PAPER_KERNELS)
     grid_configs = ALL_CONFIGS
@@ -147,11 +167,22 @@ def run_bench(quick: bool = True, jobs: int = 1,
                 f"unknown config(s) {unknown}; choose from {sorted(known)}"
             )
         grid_configs = [known[name] for name in configs]
+    engine_axis = list(engines or ("incremental",))
+    bad = [e for e in engine_axis if e not in ENGINES]
+    if bad:
+        raise ValueError(f"unknown engine(s) {bad}; choose from {ENGINES}")
+    if profile and any(e == "compiled" for e in engine_axis):
+        raise ValueError(
+            "--profile instruments propagate per instance, which the "
+            "compiled engine cannot honour; drop --profile or bench an "
+            "interpreted engine"
+        )
     work = [
         (kname, cfg, QUICK_SIZES.get(kname) if quick else None,
-         2_000_000, profile)
+         2_000_000, profile, eng)
         for kname in knames
         for cfg in grid_configs
+        for eng in engine_axis
     ]
     started = time.perf_counter()
     if jobs > 1 and len(work) > 1:
@@ -168,6 +199,7 @@ def run_bench(quick: bool = True, jobs: int = 1,
         "quick": quick,
         "jobs": jobs,
         "configs": [c.name for c in grid_configs],
+        "engines": engine_axis,
         "profile": profile,
         "total_wall_s": round(total, 3),
         "serial_wall_s": serial,
@@ -393,28 +425,56 @@ def check_against_baseline(result: Dict, baseline: Dict,
     vary too much — ``propagate_calls_per_cycle`` is the stable proxy.
     """
     errors: List[str] = []
+    # Points are keyed per engine actually used; baselines predating the
+    # engine column were always the auto-selected incremental engine.
     base_points = {
-        (p["kernel"], p["config"]): p for p in baseline.get("points", [])
+        (p["kernel"], p["config"], p.get("engine") or "incremental"): p
+        for p in baseline.get("points", [])
     }
     for point in result["points"]:
-        key = (point["kernel"], point["config"])
+        key = (point["kernel"], point["config"],
+               point.get("engine") or "incremental")
         base = base_points.get(key)
         if base is None:
             continue
+        tag = f"{key[0]}/{key[1]}/{key[2]}"
         if point["cycles"] != base["cycles"]:
             errors.append(
-                f"{key[0]}/{key[1]}: cycles {point['cycles']} != baseline "
+                f"{tag}: cycles {point['cycles']} != baseline "
                 f"{base['cycles']}"
             )
         limit = base["propagate_calls_per_cycle"] * (1.0 + tolerance)
         if point["propagate_calls_per_cycle"] > limit:
             errors.append(
-                f"{key[0]}/{key[1]}: propagate_calls/cycle "
+                f"{tag}: propagate_calls/cycle "
                 f"{point['propagate_calls_per_cycle']} > "
                 f"{limit:.3f} (baseline {base['propagate_calls_per_cycle']} "
                 f"+{tolerance:.0%})"
             )
     return errors
+
+
+def dump_emitted_source(path: str,
+                        kernel_name: Optional[str] = None,
+                        configs: Optional[Sequence[str]] = None,
+                        quick: bool = True) -> None:
+    """Write the compiled engine's generated step source to ``path``.
+
+    Defaults to the first kernel of the bench grid under the first
+    selected config — the CI smoke job uploads this as a build artifact
+    so a compiled-engine failure can be debugged from the emitted code
+    alone.
+    """
+    from ..dataflow import emitted_source
+
+    kname = kernel_name or PAPER_KERNELS[0]
+    cfg_name = (configs or [ALL_CONFIGS[0].name])[0]
+    config = next(c for c in ALL_CONFIGS if c.name == cfg_name)
+    sizes = QUICK_SIZES.get(kname) if quick else None
+    kernel = get_kernel(kname, **(sizes or {}))
+    build = compile_function(kernel.build_ir(), config, args=kernel.args)
+    with open(path, "w") as handle:
+        handle.write(emitted_source(build.circuit))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -442,6 +502,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="attribute propagate time/evals per "
                         "component class (inflates wall clocks)")
+    parser.add_argument("--engine", metavar="NAMES",
+                        default="incremental",
+                        help="comma-separated engine axis (one bench "
+                        "point per engine): auto, compiled, incremental, "
+                        "levelized, reference; default: incremental")
+    parser.add_argument("--dump-source", metavar="PATH",
+                        help="write the compiled engine's emitted step "
+                        "source for the first (kernel, config) point to "
+                        "PATH (debug artifact)")
     parser.add_argument("--sanitize", action="store_true",
                         help="run the PVSan oracle sweep instead of the "
                         "timing grid; non-zero exit on any oracle "
@@ -509,16 +578,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{result['total_wall_s']:.2f}s; wrote {out}"
         )
         return 1 if result["failures"] else 0
+    engines = [e.strip() for e in opts.engine.split(",") if e.strip()]
     result = run_bench(quick=opts.quick, jobs=opts.jobs,
-                       configs=configs, profile=opts.profile)
+                       configs=configs, profile=opts.profile,
+                       engines=engines)
     if opts.table2:
         result.update(time_table2(quick=opts.quick))
     with open(opts.out, "w") as handle:
         json.dump(result, handle, indent=2)
         handle.write("\n")
+    if opts.dump_source:
+        dump_emitted_source(opts.dump_source, configs=configs,
+                            quick=opts.quick)
+        print(f"wrote emitted step source to {opts.dump_source}")
     for point in result["points"]:
         print(
             f"{point['kernel']:12s} {point['config']:10s} "
+            f"{point['engine']:11s} "
             f"{point['wall_s']:8.3f}s  {point['cycles']:>8d} cyc  "
             f"{point['cycles_per_sec']:>8d} cyc/s  "
             f"{point['propagate_calls_per_cycle']:>8.3f} evals/cyc"

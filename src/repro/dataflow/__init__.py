@@ -22,8 +22,18 @@ from .schedule import (
     token_flow_adjacency,
     valid_dependence_edges,
 )
-from .simulator import SimulationStats, Simulator
+from .simulator import ENGINES, SimulationStats, Simulator, make_simulator
 from .reference import ReferenceSimulator
+from .codegen import (
+    CompiledPlan,
+    CompiledSimulator,
+    class_support,
+    clear_plan_cache,
+    emitted_source,
+    plan_cache_stats,
+    plan_for,
+    why_not_compilable,
+)
 from .tracing import ChannelTrace, OrderTrace
 from .visualize import to_dot
 
@@ -59,6 +69,16 @@ __all__ = [
     "Simulator",
     "SimulationStats",
     "ReferenceSimulator",
+    "CompiledSimulator",
+    "CompiledPlan",
+    "make_simulator",
+    "ENGINES",
+    "class_support",
+    "why_not_compilable",
+    "plan_for",
+    "plan_cache_stats",
+    "clear_plan_cache",
+    "emitted_source",
     "ChannelTrace",
     "OrderTrace",
     "to_dot",

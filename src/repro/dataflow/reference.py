@@ -27,6 +27,8 @@ from .simulator import SimulationStats
 class ReferenceSimulator:
     """Drives a :class:`Circuit` cycle by cycle (seed algorithm)."""
 
+    engine_name = "reference"
+
     def __init__(
         self,
         circuit: Circuit,

@@ -87,6 +87,7 @@ class Simulator:
         fixpoint_cap: int = 10_000,
         trace=None,
         collect_stats: bool = True,
+        incremental: Optional[bool] = None,
     ):
         self.circuit = circuit
         self.max_cycles = max_cycles
@@ -94,6 +95,10 @@ class Simulator:
         self.fixpoint_cap = fixpoint_cap
         self.trace = trace
         self.collect_stats = collect_stats
+        #: None = auto (incremental when sound), False = force classic
+        #: levelized, True = request incremental (still clamped to the
+        #: soundness conditions — it silently degrades, never breaks).
+        self._incremental_request = incremental
         self.stats = SimulationStats()
         self._quiet_cycles = 0
         #: callables invoked after every clock edge (e.g. squash execution)
@@ -220,11 +225,17 @@ class Simulator:
         # engine — tests that monkey-patch propagate mid-run rely on
         # every-cycle re-evaluation.
         self._use_incremental = (
-            not self.collect_stats
+            self._incremental_request is not False
+            and not self.collect_stats
             and not self.schedule.cyclic
             and ready_network_acyclic(circuit)
         )
         self._all_dirty = True
+
+    @property
+    def engine_name(self) -> str:
+        """Which interpreted evaluation strategy this instance runs."""
+        return "incremental" if self._use_incremental else "levelized"
 
     # ------------------------------------------------------------------
     # One cycle
@@ -467,3 +478,81 @@ class Simulator:
             f"at cycle {self.stats.cycles}; stalled channels: {names}{more}",
             stuck_channels=stuck,
         )
+
+
+# ----------------------------------------------------------------------
+# Engine selection
+# ----------------------------------------------------------------------
+#: engines make_simulator accepts; "auto" prefers compiled when eligible.
+ENGINES = ("auto", "compiled", "incremental", "levelized", "reference")
+
+
+def make_simulator(
+    circuit: Circuit,
+    engine: str = "auto",
+    max_cycles: int = 1_000_000,
+    deadlock_window: int = 256,
+    fixpoint_cap: int = 10_000,
+    trace=None,
+    collect_stats: bool = False,
+    count_transfers: bool = False,
+):
+    """Build the best simulator for ``circuit`` under one engine policy.
+
+    ``engine``:
+
+    * ``"auto"`` — the compiled engine when eligible (no trace, no
+      per-channel stats, circuit accepted by the compiler), otherwise
+      the interpreted :class:`Simulator` with its own auto-selection.
+    * ``"compiled"`` — request the compiled engine, but *fall back* to
+      the interpreted engine when the compiler declines (callers must
+      read ``sim.engine_name`` for the engine actually used — this is
+      what the bench/eval layers record per point).
+    * ``"incremental"`` / ``"levelized"`` — the interpreted engine with
+      the cross-cycle event-driven path requested/disabled.
+    * ``"reference"`` — the seed worklist oracle.
+
+    ``count_transfers`` asks for per-channel transfer counts; the
+    compiled engine supplies them via its fused counters, the
+    interpreted fallbacks via full ``collect_stats``.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if engine == "reference":
+        from .reference import ReferenceSimulator
+
+        return ReferenceSimulator(
+            circuit,
+            max_cycles=max_cycles,
+            deadlock_window=deadlock_window,
+            fixpoint_cap=fixpoint_cap,
+            trace=trace,
+            collect_stats=True if count_transfers else collect_stats,
+        )
+    if engine in ("auto", "compiled") and trace is None and not collect_stats:
+        from .codegen import CodegenUnsupportedError, CompiledSimulator
+
+        try:
+            return CompiledSimulator(
+                circuit,
+                max_cycles=max_cycles,
+                deadlock_window=deadlock_window,
+                fixpoint_cap=fixpoint_cap,
+                count_transfers=count_transfers,
+            )
+        except CodegenUnsupportedError:
+            pass  # interpreted fallback below
+    incremental: Optional[bool] = None
+    if engine == "incremental":
+        incremental = True
+    elif engine == "levelized":
+        incremental = False
+    return Simulator(
+        circuit,
+        max_cycles=max_cycles,
+        deadlock_window=deadlock_window,
+        fixpoint_cap=fixpoint_cap,
+        trace=trace,
+        collect_stats=True if count_transfers else collect_stats,
+        incremental=incremental,
+    )

@@ -36,6 +36,17 @@ class ConvergenceError(SimulationError):
     """Combinational fixpoint failed to settle within the iteration cap."""
 
 
+class CodegenUnsupportedError(SimulationError):
+    """The step-code compiler declined a circuit (or a feature request).
+
+    Raised for circuits containing unaudited/unknown component classes,
+    instance-level propagate/tick patches, or cyclic valid/ready residue,
+    and for simulator features the compiled engine does not support
+    (tracing, per-channel stall statistics).  Engine selection catches
+    this and falls back to the interpreted engine.
+    """
+
+
 class IRError(ReproError):
     """Malformed IR (verifier failures, bad builder usage)."""
 

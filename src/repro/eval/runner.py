@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 
 from ..compile import BuildResult, compile_function
 from ..config import HardwareConfig
-from ..dataflow import Simulator
+from ..dataflow import make_simulator
 from ..ir import run_golden
 
 
@@ -37,6 +37,9 @@ class RunResult:
     queue_full_stalls: int = 0
     lsq_alloc_stalls: int = 0
     transfers: int = 0
+    #: simulation engine actually used ("compiled", "incremental", ...);
+    #: may differ from the requested engine when the compiler declines.
+    engine: str = ""
     build: Optional[BuildResult] = None
 
     @property
@@ -76,6 +79,24 @@ def make_done_condition(build: BuildResult):
             return False
         return True
 
+    # Split variant for the compiled engine's unsynchronized run loop:
+    # the channel scan is replaced by the step function's own any-valid
+    # flag, ``pre`` gates the expensive ``post`` scan on the cheap exit
+    # check.  Both read only component/subsystem state, never channels.
+    def pre() -> bool:
+        return build.exit_sink.count >= 1
+
+    def post() -> bool:
+        if any(c.is_busy for c in build.circuit.components):
+            return False
+        for unit in build.units:
+            if unit.queue.occupancy or unit.has_pending:
+                return False
+        if build.units and build.memory.log_length:
+            return False
+        return True
+
+    done.split = (pre, post)
     return done
 
 
@@ -86,13 +107,17 @@ def run_kernel(
     keep_build: bool = False,
     trace=None,
     collect_stats: Optional[bool] = None,
+    engine: str = "auto",
 ) -> RunResult:
     """Evaluate one kernel (a :class:`repro.kernels.Kernel`) under ``config``.
 
     Per-channel statistics default to *off* (the simulator's stat-free
     fast path) — nothing in the evaluation tables reads them.  Passing a
     ``trace`` turns them back on so captured waveforms stay complete;
-    ``collect_stats`` overrides either way.
+    ``collect_stats`` overrides either way.  ``engine`` selects the
+    simulation engine (see :func:`repro.dataflow.make_simulator`);
+    :attr:`RunResult.engine` records the engine actually used, which may
+    be an interpreted fallback when the compiler declines the circuit.
     """
     fn = kernel.build_ir()
     golden = run_golden(fn, args=kernel.args, memory=kernel.memory_init)
@@ -101,8 +126,9 @@ def run_kernel(
 
     if collect_stats is None:
         collect_stats = trace is not None
-    sim = Simulator(build.circuit, max_cycles=max_cycles, trace=trace,
-                    collect_stats=collect_stats)
+    sim = make_simulator(build.circuit, engine=engine,
+                         max_cycles=max_cycles, trace=trace,
+                         collect_stats=collect_stats)
     if build.squash_controller is not None:
         sim.end_of_cycle_hooks.append(build.squash_controller.end_of_cycle)
     sim.run(make_done_condition(build))
@@ -120,6 +146,7 @@ def run_kernel(
         memory=final,
         golden=golden.memory,
         transfers=sim.stats.transfers,
+        engine=sim.engine_name,
         build=build if keep_build else None,
     )
     if build.squash_controller is not None:
@@ -143,6 +170,33 @@ def run_kernel(
 
 
 # ----------------------------------------------------------------------
+# Batched execution of one compiled circuit structure
+# ----------------------------------------------------------------------
+def run_batch(
+    kernels,
+    config: HardwareConfig,
+    max_cycles: int = 2_000_000,
+    engine: str = "compiled",
+) -> List[RunResult]:
+    """Evaluate many kernel variants under one config in one process.
+
+    The intended use is sweeping *inputs* of a fixed kernel — different
+    sizes, seeds or initial memories produce circuits with the same
+    structure (sizes flow through constants and memory contents, not
+    through the netlist), so with the compiled engine the per-structure
+    plan cache makes every run after the first skip compilation
+    entirely.  ``tests/dataflow/test_codegen.py`` pins exactly that: one
+    cache miss for the whole batch.  Structure changes mid-batch are
+    safe — they compile once each — and interpreted engines simply
+    ignore the cache.
+    """
+    return [
+        run_kernel(k, config, max_cycles=max_cycles, engine=engine)
+        for k in kernels
+    ]
+
+
+# ----------------------------------------------------------------------
 # Grid evaluation (all kernels x all configs), optionally in parallel
 # ----------------------------------------------------------------------
 def _grid_worker(point):
@@ -152,11 +206,11 @@ def _grid_worker(point):
     the worker — circuits hold operator lambdas and are not picklable —
     so the clock period the tables need is computed here.
     """
-    kernel, config, max_cycles = point
+    kernel, config, max_cycles, engine = point
     from ..area import clock_period
 
     result = run_kernel(kernel, config, max_cycles=max_cycles,
-                        keep_build=True)
+                        keep_build=True, engine=engine)
     period = clock_period(result.build.circuit)
     result.build = None
     return result, period
@@ -166,15 +220,18 @@ def run_grid(
     points,
     max_cycles: int = 2_000_000,
     jobs: int = 1,
+    engine: str = "auto",
 ) -> List:
     """Evaluate ``points`` (``(kernel, config)`` pairs) -> results + periods.
 
     With ``jobs > 1`` the points are distributed over a
     :class:`~concurrent.futures.ProcessPoolExecutor`; results come back
     in input order either way, so reports are deterministic regardless
-    of scheduling.
+    of scheduling.  ``engine`` is forwarded to every point (each worker
+    process compiles at most once per circuit structure thanks to the
+    per-process plan cache).
     """
-    work = [(kernel, config, max_cycles) for kernel, config in points]
+    work = [(kernel, config, max_cycles, engine) for kernel, config in points]
     if jobs <= 1 or len(work) <= 1:
         return [_grid_worker(w) for w in work]
     from concurrent.futures import ProcessPoolExecutor

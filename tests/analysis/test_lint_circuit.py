@@ -130,9 +130,49 @@ class TestTokenDrain:
         assert report.by_code("PV104") == []
 
 
+class TestCodegenCompilability:
+    """PV208: the compiled engine's declines must be visible up front."""
+
+    def _clean(self):
+        return line(Source("src", value=1), OpaqueBuffer("b"), Sink("k"))
+
+    def test_pv208_unaudited_class_is_flagged_once(self):
+        from repro.dataflow.component import Component
+
+        class OffMenu(Component):
+            pass
+
+        circuit = self._clean()
+        circuit.add(OffMenu("rogue1"))
+        circuit.add(OffMenu("rogue2"))
+        report = lint_circuit(circuit)
+        pv208 = report.by_code("PV208")
+        assert len(pv208) == 1  # per class, not per instance
+        assert "OffMenu" in pv208[0].message
+        from repro.analysis.lint import Severity
+
+        assert pv208[0].severity is Severity.WARNING
+
+    def test_pv208_instance_override_is_flagged(self):
+        circuit = self._clean()
+        buf = next(c for c in circuit.components if c.name == "b")
+        buf.propagate = type(buf).propagate.__get__(buf)
+        report = lint_circuit(circuit)
+        pv208 = report.by_code("PV208")
+        assert len(pv208) == 1
+        assert "instance-level propagate" in pv208[0].message
+
+    def test_pv208_silent_on_compilable_circuit(self):
+        report = lint_circuit(self._clean())
+        assert report.by_code("PV208") == []
+
+
 @pytest.mark.parametrize("style", ["prevv", "dynamatic"])
 @pytest.mark.parametrize("kernel", kernel_names())
 def test_every_seed_kernel_lints_clean(kernel, style):
+    """No errors *and no warnings*: with PV208 registered this doubles
+    as the guarantee that every generated circuit is accepted by the
+    step-code compiler (no silent interpreted fallback on the grid)."""
     report = lint_kernel(kernel, HardwareConfig(memory_style=style))
     assert report.ok, report.format()
     assert not report.warnings, report.format()

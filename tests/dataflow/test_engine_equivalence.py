@@ -3,9 +3,11 @@
 :class:`repro.dataflow.reference.ReferenceSimulator` preserves the seed
 worklist algorithm verbatim; these tests pin the rebuilt
 :class:`~repro.dataflow.Simulator` (both the instrumented path and the
-stat-free incremental fast path) to it: same cycle counts, same transfer
-counts, same squash behaviour, same final memory — on every paper kernel
-under every hardware configuration, and on randomly generated circuits.
+stat-free incremental fast path) and the code-generating
+:class:`~repro.dataflow.CompiledSimulator` to it: same cycle counts,
+same transfer counts, same squash behaviour, same final memory — on
+every paper kernel under every hardware configuration, and on randomly
+generated circuits.
 """
 
 import pytest
@@ -15,6 +17,7 @@ from hypothesis import strategies as st
 from repro.compile import compile_function
 from repro.dataflow import (
     Circuit,
+    CompiledSimulator,
     Fifo,
     Fork,
     Join,
@@ -67,8 +70,10 @@ def test_kernel_grid_bit_identical(kernel_name, config):
     reference = _run(ReferenceSimulator, kernel_name, config)
     classic = _run(Simulator, kernel_name, config, collect_stats=True)
     fast = _run(Simulator, kernel_name, config, collect_stats=False)
+    compiled = _run(CompiledSimulator, kernel_name, config)
     assert classic == reference
     assert fast == reference
+    assert compiled == reference
 
 
 # PreVV-specific stress points: a depth-1 queue maximizes backpressure
@@ -133,8 +138,10 @@ def test_prevv_stress_grid_bit_identical(kernel_name, config):
     reference = _run_prevv(ReferenceSimulator, kernel_name, config)
     classic = _run_prevv(Simulator, kernel_name, config, collect_stats=True)
     fast = _run_prevv(Simulator, kernel_name, config, collect_stats=False)
+    compiled = _run_prevv(CompiledSimulator, kernel_name, config)
     assert classic == reference
     assert fast == reference
+    assert compiled == reference
     # The stress points must actually exercise the squash/replay path;
     # otherwise this grid silently tests nothing.
     if kernel_name == "gaussian":
@@ -220,6 +227,7 @@ def test_random_circuits_bit_identical(stages, limit, cycles):
         lambda c: ReferenceSimulator(c),
         lambda c: Simulator(c, collect_stats=True),
         lambda c: Simulator(c, collect_stats=False),
+        lambda c: CompiledSimulator(c),
     ):
         circuit, sink = _random_circuit(stages, 0, limit)
         sim = build_sim(circuit)
@@ -229,3 +237,4 @@ def test_random_circuits_bit_identical(stages, limit, cycles):
         )
     assert results[1] == results[0]
     assert results[2] == results[0]
+    assert results[3] == results[0]

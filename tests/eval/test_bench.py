@@ -21,12 +21,31 @@ class TestBenchPoint:
         assert point["cycles"] > 0
         assert point["propagate_calls"] > 0
         assert "profile" not in point
+        # The report must record the engine actually used, not just the
+        # one requested — fallbacks have to be visible in the JSON.
+        assert point["engine_requested"] == "incremental"
+        assert point["engine"] == "incremental"
+        assert point["evals_per_sec"] > 0
+
+    def test_compiled_point_records_engine(self):
+        point = bench_point(
+            "polyn_mult", BY_NAME["dynamatic"], SMALL, engine="compiled"
+        )
+        assert point["engine_requested"] == "compiled"
+        assert point["engine"] == "compiled"
+        ref = bench_point("polyn_mult", BY_NAME["dynamatic"], SMALL)
+        assert point["cycles"] == ref["cycles"]
 
     def test_profile_attribution(self):
-        plain = bench_point("polyn_mult", BY_NAME["prevv16"], SMALL)
+        # Profile runs pin the levelized engine (the wrappers defeat the
+        # compiled engine), so compare against a levelized plain point.
+        plain = bench_point(
+            "polyn_mult", BY_NAME["prevv16"], SMALL, engine="levelized"
+        )
         point = bench_point(
             "polyn_mult", BY_NAME["prevv16"], SMALL, profile=True
         )
+        assert point["engine"] == "levelized"
         profile = point["profile"]
         assert "PreVVUnit" in profile
         # The meters must not perturb the simulation: same cycles, and
@@ -57,6 +76,28 @@ class TestRunBench:
         with pytest.raises(ValueError, match="unknown config"):
             run_bench(quick=True, kernels=["polyn_mult"],
                       configs=["prevv128"])
+
+    def test_engine_axis(self):
+        result = run_bench(
+            quick=True, kernels=["polyn_mult"], configs=["dynamatic"],
+            engines=["incremental", "compiled"],
+        )
+        assert result["engines"] == ["incremental", "compiled"]
+        assert [p["engine"] for p in result["points"]] == [
+            "incremental", "compiled"
+        ]
+        cycles = {p["cycles"] for p in result["points"]}
+        assert len(cycles) == 1  # engines agree on architectural time
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_bench(quick=True, kernels=["polyn_mult"],
+                      engines=["turbo"])
+
+    def test_profile_plus_compiled_rejected(self):
+        with pytest.raises(ValueError, match="profile"):
+            run_bench(quick=True, kernels=["polyn_mult"],
+                      profile=True, engines=["compiled"])
 
 
 class TestCheck:
@@ -100,3 +141,23 @@ class TestCheck:
         )
         errors = check_against_baseline(self._payload(), baseline)
         assert errors == []
+
+    def test_points_are_keyed_per_engine(self):
+        """A compiled point never checks against an incremental baseline
+        point — their evals/cycle differ by design, not by regression."""
+        result = self._payload(epc=400.0)
+        result["points"][0]["engine"] = "compiled"
+        errors = check_against_baseline(result, self._payload(epc=50.0))
+        assert errors == []
+        baseline = self._payload(epc=50.0)
+        baseline["points"][0]["engine"] = "compiled"
+        errors = check_against_baseline(result, baseline)
+        assert len(errors) == 1 and "compiled" in errors[0]
+
+    def test_engineless_points_default_to_incremental(self):
+        """Baselines predating the engine column still check: the old
+        bench always ran the incremental engine."""
+        result = self._payload(cycles=101)
+        result["points"][0]["engine"] = "incremental"
+        errors = check_against_baseline(result, self._payload(cycles=100))
+        assert len(errors) == 1 and "cycles" in errors[0]
