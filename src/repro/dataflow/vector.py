@@ -1,0 +1,1957 @@
+"""Lockstep vector engine: N same-structure simulations per sweep.
+
+The compiled engine (:mod:`repro.dataflow.codegen`) removed per-cycle
+dispatch but still executes scalar bytecode per simulation.  This module
+runs a *batch* of B circuits that share one :func:`structural_key` in
+lockstep: every channel signal becomes one slot of a *lane plane* — a
+Python integer whose bit ``l`` is lane ``l``'s value — so one bitwise
+operation advances all B simulations at once.  (The issue sketch says
+"one ``(B,)`` array per signal slot"; packed integer planes are the same
+layout with the batch dimension in the bits of one machine word per 64
+lanes, which beats dtype=bool ndarrays for B ≤ a few hundred because a
+full plane op is *one* interpreter dispatch.  numpy is still used where
+arrays win: decoding the per-channel transfer counters at the end of a
+run and aggregating per-lane results.)
+
+Plane layout per channel ``ci``::
+
+    V[ci]   valid plane            R[ci]  ready plane
+    F[ci]   fired plane (V & R & active)
+    D[ci]   per-lane token list    DCH[ci] "data identity changed" plane
+
+Token *data* stays per-lane (a list of Token refs per channel): data-
+dependent work — combine calls, select decode, branch steering — runs in
+per-lane loops that are *dirty-gated*, i.e. proportional to actual token
+traffic, while the valid/ready/fire waves are pure plane arithmetic.
+
+Change-propagation protocol (mirrors the compiled sweep exactly):
+
+* ``DCH[ci]`` is assigned exactly once per cycle, at the producer's
+  phase-1 position.  Levelization orders every valid-observing consumer
+  after its producer, so forward consumers read a fresh plane; backward
+  (state-edge) consumers read last cycle's plane — the same one-cycle-
+  stale values the compiled schedule gives them.
+* Each data op recomputes lane ``l`` when an input's DCH bit is set, its
+  activation rose this cycle, or the lane was force-marked (cold start /
+  squash flush).  Recomputation goes through the same per-component
+  identity caches the compiled templates use, so the sequence of cache
+  mutations — hence every token identity — is bit-identical.
+* The five stateful subsystems (PreVVUnit / MemoryController /
+  LoadStoreQueue / ControlMerge / DomainGate) run as real per-lane
+  objects behind an event gate: propagate is re-driven for a lane only
+  when an input valid/data changed, its own tick reported a state
+  change, or (phase 2) an output ready changed; ticks run only for
+  lanes with adjacent channel activity, a truthy previous tick, a
+  squash flush, or ``is_busy`` — the change-report contract the PV207
+  audit marker certifies.
+
+Finished lanes retire from the active plane without stalling the rest;
+a retired lane's channel objects are left exactly as the compiled
+engine leaves them (valid=False, data=None).
+
+Public surface: :func:`why_not_vectorizable`, :class:`VectorPlan` /
+:func:`vector_plan_for` (cached per structural key), :class:`VectorBatch`
+(the B-lane engine), :class:`VectorSimulator` (B=1 adapter used by
+``make_simulator(engine="vector")``).
+"""
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import DeadlockError, SimulationError, VectorUnsupportedError
+from .circuit import Circuit
+from .codegen import (
+    _CALLED,
+    _INLINE,
+    _class_key,
+    plan_for,
+    structural_key,
+    why_not_compilable,
+)
+from .schedule import levelize
+from .simulator import SimulationStats, _overrides
+from .token import Token, combine
+
+try:  # numpy is only needed to decode counters / aggregate results
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a pinned dependency
+    _np = None
+
+VECTOR_VERSION = 1
+
+#: Inline tags whose flush the engine mirrors itself (their state is
+#: shadowed in lane planes); everything else flushes the real object.
+_ENGINE_FLUSHED = frozenset(
+    {"fork", "operator", "oehb", "tehb", "tfifo", "fifo"}
+)
+
+#: Inline classes known to override flush.  A new inline class with an
+#: unmirrored flush must decline vectorization rather than silently
+#: desync the planes during a squash.
+_FLUSH_OVERRIDING_TAGS = _ENGINE_FLUSHED | {"sink"}
+
+
+def why_not_vectorizable(circuit: Circuit) -> Optional[str]:
+    """First reason ``circuit`` cannot run on the vector engine, or None.
+
+    The vector engine reuses the compiled engine's audited component
+    set and acyclic schedule, so its restrictions are a superset of
+    :func:`repro.dataflow.codegen.why_not_compilable` plus numpy
+    availability (needed for counter decode / result aggregation).
+    """
+    if _np is None:  # pragma: no cover - numpy is a pinned dependency
+        return "numpy is not importable (required by the vector engine)"
+    reason = why_not_compilable(circuit)
+    if reason is not None:
+        return reason
+    for comp in circuit.components:
+        tag = _INLINE.get(_class_key(type(comp)))
+        if tag is None:
+            continue
+        if _overrides(comp, "flush") and tag not in _FLUSH_OVERRIDING_TAGS:
+            return (
+                f"component {comp.name!r}: inline class with a flush "
+                "override the vector engine does not mirror"
+            )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Plan cache (shares the structural_key space with the codegen cache)
+# ----------------------------------------------------------------------
+class VectorPlan:
+    """Structure-level schedule shared by every batch of one key.
+
+    Holds component-index orders (phase 1 = levelized, phase 2 = the
+    compiled engine's Kahn ready order) and the compiled plan's
+    ``n_evals`` so per-lane ``propagate_calls`` match the compiled
+    engine exactly.
+    """
+
+    __slots__ = ("key", "ph1_idx", "ph2_idx", "n_evals")
+
+    def __init__(self, key, ph1_idx, ph2_idx, n_evals):
+        self.key = key
+        self.ph1_idx = ph1_idx
+        self.ph2_idx = ph2_idx
+        self.n_evals = n_evals
+
+
+_VPLAN_CACHE: Dict[Tuple, VectorPlan] = {}
+_VCACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def vector_plan_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the vector-plan cache (for tests/benchmarks)."""
+    return dict(_VCACHE_STATS)
+
+
+def clear_vector_plan_cache() -> None:
+    """Drop all cached vector plans and reset the counters."""
+    _VPLAN_CACHE.clear()
+    _VCACHE_STATS["hits"] = 0
+    _VCACHE_STATS["misses"] = 0
+
+
+def _phase2_idx(circuit: Circuit, xidx: Dict[int, int], tag) -> List[int]:
+    """Component-index replica of ``_StepEmitter._phase2_order``."""
+    comps = list(circuit.components)
+    nodes = [c for c in comps if c.inputs and tag.get(id(c)) != "sink"]
+    node_ids = {id(c) for c in nodes}
+    succs: Dict[int, List] = {id(c): [] for c in nodes}
+    indeg: Dict[int, int] = {id(c): 0 for c in nodes}
+    for c in nodes:
+        if not c.observes_output_ready:
+            continue
+        seen = set()
+        for ch in c.outputs.values():
+            u = ch.consumer
+            if u is None or id(u) not in node_ids or id(u) in seen:
+                continue
+            if u is c:
+                continue
+            seen.add(id(u))
+            succs[id(u)].append(c)
+            indeg[id(c)] += 1
+    heap = [xidx[id(c)] for c in nodes if indeg[id(c)] == 0]
+    heapq.heapify(heap)
+    order: List[int] = []
+    while heap:
+        i = heapq.heappop(heap)
+        order.append(i)
+        for succ in succs[id(comps[i])]:
+            indeg[id(succ)] -= 1
+            if indeg[id(succ)] == 0:
+                heapq.heappush(heap, xidx[id(succ)])
+    if len(order) != len(nodes):  # pragma: no cover - caught by why_not
+        raise VectorUnsupportedError(
+            f"{circuit.name}: ready network left a cyclic residue"
+        )
+    return order
+
+
+def vector_plan_for(circuit: Circuit) -> VectorPlan:
+    """Cached :class:`VectorPlan` for ``circuit``'s structure."""
+    key = structural_key(circuit)
+    plan = _VPLAN_CACHE.get(key)
+    if plan is not None:
+        _VCACHE_STATS["hits"] += 1
+        return plan
+    _VCACHE_STATS["misses"] += 1
+    comps = list(circuit.components)
+    xidx = {id(c): i for i, c in enumerate(comps)}
+    tag = {id(c): _INLINE.get(_class_key(type(c))) for c in comps}
+    ph1_idx = [xidx[id(c)] for c in levelize(circuit).order]
+    ph2_idx = _phase2_idx(circuit, xidx, tag)
+    n_evals = plan_for(circuit, False).n_evals
+    plan = VectorPlan(key, ph1_idx, ph2_idx, n_evals)
+    _VPLAN_CACHE[key] = plan
+    return plan
+
+
+# ----------------------------------------------------------------------
+# The batch engine
+# ----------------------------------------------------------------------
+class VectorBatch:
+    """Runs B same-structure circuits in lockstep.
+
+    Each lane keeps its own circuit (its own component/channel objects,
+    memory, PreVV units, ...); the engine shadows every channel signal
+    in lane planes and keeps per-lane object state — buffer slots, FIFO
+    deques, operator pipes — as the architectural truth, so done
+    conditions, squash flushes and deadlock diagnostics read real
+    objects by construction.
+
+    One-shot: build, optionally :meth:`add_hook` per lane, then
+    :meth:`run` once with one done condition per lane.
+    """
+
+    def __init__(
+        self,
+        circuits: List[Circuit],
+        max_cycles: int = 1_000_000,
+        deadlock_window: int = 256,
+        count_transfers: bool = False,
+    ):
+        circuits = list(circuits)
+        if not circuits:
+            raise ValueError("VectorBatch needs at least one circuit")
+        if len({id(c) for c in circuits}) != len(circuits):
+            raise VectorUnsupportedError(
+                "each lane needs its own circuit instance"
+            )
+        first = circuits[0]
+        reason = why_not_vectorizable(first)
+        if reason is not None:
+            raise VectorUnsupportedError(f"{first.name}: {reason}")
+        self.plan = vector_plan_for(first)
+        for c in circuits[1:]:
+            if structural_key(c) != self.plan.key:
+                raise VectorUnsupportedError(
+                    f"{c.name}: structure differs from {first.name} "
+                    "(one VectorBatch runs one structural key; group "
+                    "mixed batches by structural_key first)"
+                )
+        for c in circuits:
+            c.validate()
+        self.circuits = circuits
+        self.B = B = len(circuits)
+        self.FULL = (1 << B) - 1
+        self.max_cycles = max_cycles
+        self.deadlock_window = deadlock_window
+        self.count_transfers = count_transfers
+
+        nch = len(first.channels)
+        self._nch = nch
+        comps = list(first.components)
+        self._comps = comps
+        lane_chs = [list(c.channels) for c in circuits]
+        lane_xs = [list(c.components) for c in circuits]
+        #: [channel][lane] -> Channel object / [comp][lane] -> Component
+        self.chobj = [[lane_chs[l][ci] for l in range(B)] for ci in range(nch)]
+        self.xobj = [
+            [lane_xs[l][xi] for l in range(B)] for xi in range(len(comps))
+        ]
+
+        self.V = [0] * nch
+        self.R = [0] * nch
+        self.F = [0] * nch
+        self.DCH = [0] * nch
+        self.D: List[List] = [[None] * B for _ in range(nch)]
+        self.ACT = [self.FULL]
+        self.FORCE = [self.FULL]
+        self._anyv = 0
+        self._fany = 0
+        self._tplanes: List[List[int]] = [[] for _ in range(nch)]
+        self.cycles = 0
+        self.lane_cycles = [0] * B
+        self.hooks: List[List[Callable]] = [[] for _ in range(B)]
+        self.stats: List[SimulationStats] = [SimulationStats() for _ in range(B)]
+        self._quiet = [0] * B
+        self._nzq = 0
+
+        self._cidx = {id(ch): i for i, ch in enumerate(first.channels)}
+        self._tag = {
+            i: _INLINE.get(_class_key(type(c))) for i, c in enumerate(comps)
+        }
+        xidx = {id(c): i for i, c in enumerate(comps)}
+        self._sink_chs = [
+            self._cidx[id(ch)]
+            for ch in first.channels
+            if ch.consumer is not None
+            and self._tag[xidx[id(ch.consumer)]] == "sink"
+        ]
+        self._build()
+
+    # -- helpers ---------------------------------------------------------
+    def _ci(self, ch) -> int:
+        return self._cidx[id(ch)]
+
+    # -- construction ----------------------------------------------------
+    def _build(self) -> None:
+        B = self.B
+        FULL = self.FULL
+        D = self.D
+        comps = self._comps
+        tag = self._tag
+        plan = self.plan
+
+        # Sink inputs are unconditionally ready (compiled folds the
+        # constant and pins it in the prologue).
+        for ci in self._sink_chs:
+            self.R[ci] = FULL
+            for ch in self.chobj[ci]:
+                ch.ready = True
+
+        # Aliasing pass, in levelized order so producers resolve first:
+        # fork outputs share the input's token list, branch's two
+        # outputs share one list (compiled writes the same _o to
+        # whichever side is taken).
+        for xi in plan.ph1_idx:
+            c = comps[xi]
+            t = tag[xi]
+            if t == "fork":
+                i = self._ci(c.inputs["in"])
+                for k in range(c.n_outputs):
+                    D[self._ci(c.outputs[f"out{k}"])] = D[i]
+            elif t == "branch":
+                shared: List = [None] * B
+                D[self._ci(c.outputs["true"])] = shared
+                D[self._ci(c.outputs["false"])] = shared
+
+        builders = {
+            "entry": self._b_entry,
+            "source": self._b_source,
+            "sink": self._b_sink,
+            "constant": self._b_constant,
+            "fork": self._b_fork,
+            "join": self._b_join,
+            "merge": self._b_merge,
+            "mux": self._b_mux,
+            "branch": self._b_branch,
+            "select": self._b_select,
+            "operator": self._b_operator,
+            "oehb": self._b_oehb,
+            "tehb": self._b_tehb,
+            "tfifo": self._b_tfifo,
+            "fifo": self._b_fifo,
+            "pair_packer": self._b_pair_packer,
+            "fake_gen": self._b_fake_gen,
+            "done_gen": self._b_done_gen,
+        }
+        self._outsync: List[List] = []  # [ci, chobj row, [shadow]]
+        self._opbusy: List[Tuple[List[int], List[int]]] = []
+        self._realbusy: List[List] = []
+        per: Dict[int, Dict[str, Callable]] = {}
+        for xi in range(len(comps)):
+            t = tag[xi]
+            if t is None:
+                per[xi] = self._b_called(xi, comps[xi])
+            else:
+                per[xi] = builders[t](xi, comps[xi])
+            if _overrides(comps[xi], "is_busy") and t != "operator":
+                self._realbusy.append(self.xobj[xi])
+
+        self._ph1 = [
+            per[xi]["ph1"] for xi in plan.ph1_idx if per[xi].get("ph1")
+        ]
+        self._ph2 = [
+            per[xi]["ph2"] for xi in plan.ph2_idx if per[xi].get("ph2")
+        ]
+        ticks: List[Callable] = []
+        for xi, c in enumerate(comps):
+            if not _overrides(c, "tick"):
+                continue
+            if tag[xi] == "operator" and c.latency == 0:
+                continue
+            tk = per[xi].get("tick")
+            if tk is not None:
+                ticks.append(tk)
+        self._ticks = ticks
+        self._flushers = [per[xi].get("flush") for xi in range(len(comps))]
+
+    # -- per-class builders ---------------------------------------------
+    # Each returns {"ph1": fn, "ph2": fn, "tick": fn, "flush": fn} with
+    # any subset present.  Closures bind planes/cells via default args.
+
+    def _b_entry(self, xi, c):
+        V, D, F, DCH, FULL = self.V, self.D, self.F, self.DCH, self.FULL
+        o = self._ci(c.outputs["out"])
+        Do = D[o]
+        objs = self.xobj[xi]
+        em = 0
+        for lane, x in enumerate(objs):
+            if x._token is None:
+                x._token = Token(x.value)
+            Do[lane] = x._token
+            if x._emitted:
+                em |= 1 << lane
+        cell = [em]
+
+        def ph1(o=o, cell=cell):
+            V[o] = FULL ^ cell[0]
+            DCH[o] = 0
+
+        def tick(o=o, cell=cell, objs=objs):
+            m = F[o] & ~cell[0]
+            if m:
+                cell[0] |= m
+                while m:
+                    b = m & -m
+                    m ^= b
+                    objs[b.bit_length() - 1]._emitted = True
+
+        return {"ph1": ph1, "tick": tick}
+
+    def _b_source(self, xi, c):
+        V, D, F, DCH = self.V, self.D, self.F, self.DCH
+        o = self._ci(c.outputs["out"])
+        Do = D[o]
+        objs = self.xobj[xi]
+        av = 0
+        for lane, x in enumerate(objs):
+            if x._token is None:
+                x._token = Token(x.value)
+            Do[lane] = x._token
+            if x.limit is None or x.emitted < x.limit:
+                av |= 1 << lane
+        cell = [av]
+
+        def ph1(o=o, cell=cell):
+            V[o] = cell[0]
+            DCH[o] = 0
+
+        def tick(o=o, cell=cell, objs=objs):
+            m = F[o]
+            while m:
+                b = m & -m
+                m ^= b
+                x = objs[b.bit_length() - 1]
+                x.emitted += 1
+                if x.limit is not None and x.emitted >= x.limit:
+                    cell[0] &= ~b
+
+        return {"ph1": ph1, "tick": tick}
+
+    def _b_sink(self, xi, c):
+        D, F = self.D, self.F
+        i = self._ci(c.inputs["in"])
+        Di = D[i]
+        objs = self.xobj[xi]
+        rec = bool(c.record)
+
+        def tick(i=i, Di=Di, objs=objs, rec=rec):
+            m = F[i]
+            while m:
+                b = m & -m
+                m ^= b
+                lane = b.bit_length() - 1
+                x = objs[lane]
+                x.count += 1
+                if rec:
+                    x.received.append(Di[lane])
+
+        def flush(lane, bmask, domain, min_iter, objs=objs):
+            objs[lane].flush(domain, min_iter)
+
+        return {"tick": tick, "flush": flush}
+
+    def _b_constant(self, xi, c):
+        V, R, D, DCH, FORCE = self.V, self.R, self.D, self.DCH, self.FORCE
+        i = self._ci(c.inputs["ctrl"])
+        o = self._ci(c.outputs["out"])
+        Di, Do = D[i], D[o]
+        objs = self.xobj[xi]
+        la = [0]
+
+        def ph1(i=i, o=o, Di=Di, Do=Do, objs=objs, la=la):
+            a = V[i]
+            d = a & (DCH[i] | (a & ~la[0]) | FORCE[0])
+            la[0] = a
+            ch = 0
+            while d:
+                b = d & -d
+                d ^= b
+                lane = b.bit_length() - 1
+                t = Di[lane]
+                x = objs[lane]
+                _a = x._cache
+                if _a[0] is t:
+                    out = _a[1]
+                else:
+                    out = combine(x.value, t)
+                    _a[0] = t
+                    _a[1] = out
+                if Do[lane] is not out:
+                    Do[lane] = out
+                    ch |= b
+            V[o] = a
+            DCH[o] = ch
+
+        def ph2(i=i, o=o):
+            R[i] = V[i] & R[o]
+
+        return {"ph1": ph1, "ph2": ph2}
+
+    def _b_fork(self, xi, c):
+        V, R, D, F, DCH = self.V, self.R, self.D, self.F, self.DCH
+        ACT, FULL = self.ACT, self.FULL
+        i = self._ci(c.inputs["in"])
+        n = c.n_outputs
+        outs = [self._ci(c.outputs[f"out{k}"]) for k in range(n)]
+        Di = D[i]
+        objs = self.xobj[xi]
+        dn = [0] * n
+        for lane, x in enumerate(objs):
+            for k in range(n):
+                if x._done[k]:
+                    dn[k] |= 1 << lane
+
+        def ph1(i=i, outs=outs, dn=dn):
+            vi = V[i]
+            dch = DCH[i]
+            for k, ok in enumerate(outs):
+                V[ok] = vi & ~dn[k]
+                DCH[ok] = dch
+
+        def ph2(i=i, outs=outs, dn=dn):
+            acc = FULL
+            for k, ok in enumerate(outs):
+                acc &= dn[k] | R[ok]
+            R[i] = V[i] & acc
+
+        def tick(i=i, outs=outs, dn=dn, objs=objs, n=n):
+            vi = V[i] & ACT[0]
+            if not vi:
+                return
+            ri = R[i]
+            c1 = vi & ri
+            if c1:
+                anyd = 0
+                for k in range(n):
+                    anyd |= dn[k]
+                rst = c1 & anyd
+                if rst:
+                    m = rst
+                    while m:
+                        b = m & -m
+                        m ^= b
+                        objs[b.bit_length() - 1]._done = [False] * n
+                    for k in range(n):
+                        dn[k] &= ~rst
+            c2 = vi & ~ri
+            if c2:
+                for k, ok in enumerate(outs):
+                    nd = c2 & V[ok] & R[ok] & ~dn[k]
+                    if nd:
+                        dn[k] |= nd
+                        m = nd
+                        while m:
+                            b = m & -m
+                            m ^= b
+                            objs[b.bit_length() - 1]._done[k] = True
+
+        def flush(lane, bmask, domain, min_iter, i=i, Di=Di, dn=dn,
+                  objs=objs, n=n):
+            if (V[i] >> lane) & 1:
+                tok = Di[lane]
+                if tok is not None and tok.is_squashed_by(domain, min_iter):
+                    objs[lane]._done = [False] * n
+                    for k in range(n):
+                        dn[k] &= ~bmask
+
+        return {"ph1": ph1, "ph2": ph2, "tick": tick, "flush": flush}
+
+    def _b_join(self, xi, c):
+        V, R, D, DCH, FORCE = self.V, self.R, self.D, self.DCH, self.FORCE
+        FULL = self.FULL
+        n = c.n_inputs
+        ins = [self._ci(c.inputs[f"in{k}"]) for k in range(n)]
+        o = self._ci(c.outputs["out"])
+        Dins = [D[ik] for ik in ins]
+        Do = D[o]
+        objs = self.xobj[xi]
+        la = [0]
+
+        def ph1(ins=ins, o=o, Dins=Dins, Do=Do, objs=objs, la=la, n=n):
+            a = FULL
+            dch = 0
+            for ik in ins:
+                a &= V[ik]
+                dch |= DCH[ik]
+            d = a & (dch | (a & ~la[0]) | FORCE[0])
+            la[0] = a
+            ch = 0
+            while d:
+                b = d & -d
+                d ^= b
+                lane = b.bit_length() - 1
+                toks = [Dk[lane] for Dk in Dins]
+                _a = objs[lane]._cache
+                _l = _a[0]
+                same = _l is not None
+                if same:
+                    for kk in range(n):
+                        if _l[kk] is not toks[kk]:
+                            same = False
+                            break
+                if same:
+                    out = _a[1]
+                else:
+                    out = combine(toks[0].value, *toks)
+                    _a[0] = toks
+                    _a[1] = out
+                if Do[lane] is not out:
+                    Do[lane] = out
+                    ch |= b
+            V[o] = a
+            DCH[o] = ch
+
+        def ph2(ins=ins, o=o):
+            a = FULL
+            for ik in ins:
+                a &= V[ik]
+            r = a & R[o]
+            for ik in ins:
+                R[ik] = r
+
+        return {"ph1": ph1, "ph2": ph2}
+
+    def _b_merge(self, xi, c):
+        V, R, D, DCH, FORCE = self.V, self.R, self.D, self.DCH, self.FORCE
+        FULL = self.FULL
+        n = c.n_inputs
+        ins = [self._ci(c.inputs[f"in{k}"]) for k in range(n)]
+        o = self._ci(c.outputs["out"])
+        Dins = [D[ik] for ik in ins]
+        Do = D[o]
+        W = [0] * n
+        lw = [0] * n
+
+        def ph1(ins=ins, o=o, Dins=Dins, Do=Do, W=W, lw=lw):
+            rem = FULL
+            ch = 0
+            f = FORCE[0]
+            for k, ik in enumerate(ins):
+                w = V[ik] & rem
+                rem &= ~w
+                W[k] = w
+                d = w & (DCH[ik] | (w & ~lw[k]) | f)
+                lw[k] = w
+                if d:
+                    Dk = Dins[k]
+                    while d:
+                        b = d & -d
+                        d ^= b
+                        lane = b.bit_length() - 1
+                        t = Dk[lane]
+                        if Do[lane] is not t:
+                            Do[lane] = t
+                            ch |= b
+            V[o] = FULL ^ rem
+            DCH[o] = ch
+
+        def ph2(ins=ins, o=o, W=W):
+            ro = R[o]
+            for k, ik in enumerate(ins):
+                R[ik] = W[k] & ro
+
+        return {"ph1": ph1, "ph2": ph2}
+
+    def _b_mux(self, xi, c):
+        V, R, D, DCH, FORCE = self.V, self.R, self.D, self.DCH, self.FORCE
+        B = self.B
+        n = c.n_inputs
+        s = self._ci(c.inputs["select"])
+        ins = [self._ci(c.inputs[f"in{k}"]) for k in range(n)]
+        o = self._ci(c.outputs["out"])
+        Ds = D[s]
+        Dins = [D[ik] for ik in ins]
+        Do = D[o]
+        objs = self.xobj[xi]
+        SM = [0] * n
+        sidx = [-1] * B
+        lak = [0] * n
+        lvs = [0]
+
+        def ph1(s=s, ins=ins, o=o, Ds=Ds, Dins=Dins, Do=Do, objs=objs,
+                SM=SM, sidx=sidx, lak=lak, lvs=lvs, n=n):
+            vs = V[s]
+            f = FORCE[0]
+            ds = vs & (DCH[s] | (vs & ~lvs[0]) | f)
+            lvs[0] = vs
+            while ds:
+                b = ds & -ds
+                ds ^= b
+                lane = b.bit_length() - 1
+                ival = int(Ds[lane].value)
+                if 0 <= ival < n:
+                    k = ival
+                elif -n <= ival < 0:
+                    k = ival + n
+                else:
+                    raise IndexError("mux select out of range")
+                old = sidx[lane]
+                if old != k:
+                    if old >= 0:
+                        SM[old] &= ~b
+                    SM[k] |= b
+                    sidx[lane] = k
+            vo = 0
+            ch = 0
+            dchs = DCH[s]
+            for k, ik in enumerate(ins):
+                ak = vs & SM[k] & V[ik]
+                vo |= ak
+                d = ak & (dchs | DCH[ik] | (ak & ~lak[k]) | f)
+                lak[k] = ak
+                if d:
+                    Dk = Dins[k]
+                    while d:
+                        b = d & -d
+                        d ^= b
+                        lane = b.bit_length() - 1
+                        st = Ds[lane]
+                        dt = Dk[lane]
+                        _a = objs[lane]._cache
+                        if _a[0] is st and _a[1] is dt:
+                            out = _a[2]
+                        else:
+                            out = combine(dt.value, dt, st)
+                            _a[0] = st
+                            _a[1] = dt
+                            _a[2] = out
+                        if Do[lane] is not out:
+                            Do[lane] = out
+                            ch |= b
+            V[o] = vo
+            DCH[o] = ch
+
+        def ph2(s=s, ins=ins, o=o, SM=SM):
+            vs = V[s]
+            ro = R[o]
+            rs = 0
+            for k, ik in enumerate(ins):
+                g = vs & SM[k] & V[ik] & ro
+                R[ik] = g
+                rs |= g
+            R[s] = rs
+
+        return {"ph1": ph1, "ph2": ph2}
+
+    def _b_branch(self, xi, c):
+        V, R, D, DCH, FORCE = self.V, self.R, self.D, self.DCH, self.FORCE
+        cnd = self._ci(c.inputs["cond"])
+        dat = self._ci(c.inputs["data"])
+        tt = self._ci(c.outputs["true"])
+        ff = self._ci(c.outputs["false"])
+        Dc, Dd = D[cnd], D[dat]
+        bd = D[tt]  # aliased with D[ff]
+        objs = self.xobj[xi]
+        la = [0]
+        CT = [0]
+
+        def ph1(cnd=cnd, dat=dat, tt=tt, ff=ff, Dc=Dc, Dd=Dd, bd=bd,
+                objs=objs, la=la, CT=CT):
+            a = V[cnd] & V[dat]
+            d = a & (DCH[cnd] | DCH[dat] | (a & ~la[0]) | FORCE[0])
+            la[0] = a
+            ch = 0
+            while d:
+                b = d & -d
+                d ^= b
+                lane = b.bit_length() - 1
+                ctk = Dc[lane]
+                dtk = Dd[lane]
+                _a = objs[lane]._cache
+                if _a[0] is ctk and _a[1] is dtk:
+                    out = _a[2]
+                else:
+                    out = combine(dtk.value, dtk, ctk)
+                    _a[0] = ctk
+                    _a[1] = dtk
+                    _a[2] = out
+                if ctk.value:
+                    CT[0] |= b
+                else:
+                    CT[0] &= ~b
+                if bd[lane] is not out:
+                    bd[lane] = out
+                    ch |= b
+            ct = CT[0]
+            V[tt] = a & ct
+            V[ff] = a & ~ct
+            DCH[tt] = ch
+            DCH[ff] = ch
+
+        def ph2(cnd=cnd, dat=dat, tt=tt, ff=ff, CT=CT):
+            a = V[tt] | V[ff]
+            ct = CT[0]
+            r = ((R[tt] & ct) | (R[ff] & ~ct)) & a
+            R[cnd] = r
+            R[dat] = r
+
+        return {"ph1": ph1, "ph2": ph2}
+
+    def _b_select(self, xi, c):
+        V, R, D, DCH, FORCE = self.V, self.R, self.D, self.DCH, self.FORCE
+        cnd = self._ci(c.inputs["cond"])
+        aa = self._ci(c.inputs["a"])
+        bb = self._ci(c.inputs["b"])
+        o = self._ci(c.outputs["out"])
+        Dc, Da, Db = D[cnd], D[aa], D[bb]
+        Do = D[o]
+        objs = self.xobj[xi]
+        la = [0]
+
+        def ph1(cnd=cnd, aa=aa, bb=bb, o=o, Dc=Dc, Da=Da, Db=Db, Do=Do,
+                objs=objs, la=la):
+            a = V[cnd] & V[aa] & V[bb]
+            d = a & (
+                DCH[cnd] | DCH[aa] | DCH[bb] | (a & ~la[0]) | FORCE[0]
+            )
+            la[0] = a
+            ch = 0
+            while d:
+                b = d & -d
+                d ^= b
+                lane = b.bit_length() - 1
+                ct = Dc[lane]
+                at = Da[lane]
+                bt = Db[lane]
+                _a = objs[lane]._cache
+                if _a[0] is ct and _a[1] is at and _a[2] is bt:
+                    out = _a[3]
+                else:
+                    chosen = at if ct.value else bt
+                    out = combine(chosen.value, ct, at, bt)
+                    _a[0] = ct
+                    _a[1] = at
+                    _a[2] = bt
+                    _a[3] = out
+                if Do[lane] is not out:
+                    Do[lane] = out
+                    ch |= b
+            V[o] = a
+            DCH[o] = ch
+
+        def ph2(cnd=cnd, aa=aa, bb=bb, o=o):
+            r = V[cnd] & V[aa] & V[bb] & R[o]
+            R[cnd] = r
+            R[aa] = r
+            R[bb] = r
+
+        return {"ph1": ph1, "ph2": ph2}
+
+    def _b_operator(self, xi, c):
+        V, R, D, F, DCH, FORCE = (
+            self.V, self.R, self.D, self.F, self.DCH, self.FORCE,
+        )
+        ACT, FULL = self.ACT, self.FULL
+        n = c.n_inputs
+        ins = [self._ci(c.inputs[f"in{k}"]) for k in range(n)]
+        o = self._ci(c.outputs["out"])
+        Dins = [D[ik] for ik in ins]
+        Do = D[o]
+        objs = self.xobj[xi]
+        fns = [x.fn for x in objs]
+
+        if c.latency == 0:
+            def ph1(ins=ins, o=o, Dins=Dins, Do=Do, objs=objs, fns=fns,
+                    la=[0], n=n):
+                a = FULL
+                dch = 0
+                for ik in ins:
+                    a &= V[ik]
+                    dch |= DCH[ik]
+                d = a & (dch | (a & ~la[0]) | FORCE[0])
+                la[0] = a
+                ch = 0
+                while d:
+                    b = d & -d
+                    d ^= b
+                    lane = b.bit_length() - 1
+                    toks = [Dk[lane] for Dk in Dins]
+                    _a = objs[lane]._c0_cache
+                    _l = _a[0]
+                    same = _l is not None
+                    if same:
+                        for kk in range(n):
+                            if _l[kk] is not toks[kk]:
+                                same = False
+                                break
+                    if same:
+                        out = _a[1]
+                    else:
+                        out = combine(
+                            fns[lane](*[tk.value for tk in toks]), *toks
+                        )
+                        _a[0] = toks
+                        _a[1] = out
+                    if Do[lane] is not out:
+                        Do[lane] = out
+                        ch |= b
+                V[o] = a
+                DCH[o] = ch
+
+            def ph2(ins=ins, o=o):
+                a = FULL
+                for ik in ins:
+                    a &= V[ik]
+                r = a & R[o]
+                for ik in ins:
+                    R[ik] = r
+
+            return {"ph1": ph1, "ph2": ph2}
+
+        tv = [0]
+        pz = [0]
+        pub = [0]
+        for lane, x in enumerate(objs):
+            pipe = x._pipe
+            if pipe[-1] is not None:
+                tv[0] |= 1 << lane
+                Do[lane] = pipe[-1]
+            if any(tk is not None for tk in pipe):
+                pz[0] |= 1 << lane
+
+        # D-list publication happens here, never in tick/flush (see
+        # _b_oehb): lanes whose pipe moved re-expose the tail token.
+        def ph1(o=o, tv=tv, pub=pub, Do=Do, objs=objs):
+            ch = 0
+            m = pub[0]
+            pub[0] = 0
+            while m:
+                b = m & -m
+                m ^= b
+                lane = b.bit_length() - 1
+                tail = objs[lane]._pipe[-1]
+                if tail is not None and Do[lane] is not tail:
+                    Do[lane] = tail
+                    ch |= b
+            V[o] = tv[0]
+            DCH[o] = ch
+
+        def ph2(ins=ins, o=o, tv=tv):
+            a = FULL
+            for ik in ins:
+                a &= V[ik]
+            r = a & ((FULL ^ tv[0]) | R[o])
+            for ik in ins:
+                R[ik] = r
+
+        in0 = ins[0]
+
+        def tick(ins=ins, in0=in0, o=o, Dins=Dins, objs=objs,
+                 fns=fns, tv=tv, pz=pz, pub=pub):
+            a = ACT[0]
+            adv = ((FULL ^ tv[0]) | F[o]) & a
+            if not adv:
+                return
+            allv = FULL
+            for ik in ins:
+                allv &= V[ik]
+            acc = adv & allv & R[in0]
+            work = adv & (acc | pz[0])
+            if not work:
+                return
+            t_new = tv[0]
+            p_new = pz[0]
+            pub[0] |= work
+            while work:
+                b = work & -work
+                work ^= b
+                lane = b.bit_length() - 1
+                x = objs[lane]
+                pipe = x._pipe
+                if (acc >> lane) & 1:
+                    toks = [Dk[lane] for Dk in Dins]
+                    out = combine(
+                        fns[lane](*[tk.value for tk in toks]), *toks
+                    )
+                else:
+                    out = None
+                pipe = [out] + pipe[:-1]
+                x._pipe = pipe
+                if pipe[-1] is None:
+                    t_new &= ~b
+                else:
+                    t_new |= b
+                nz = False
+                for tk in pipe:
+                    if tk is not None:
+                        nz = True
+                        break
+                if nz:
+                    p_new |= b
+                else:
+                    p_new &= ~b
+            tv[0] = t_new
+            pz[0] = p_new
+
+        def flush(lane, bmask, domain, min_iter, objs=objs,
+                  tv=tv, pz=pz, pub=pub):
+            x = objs[lane]
+            old = x._pipe
+            changed = False
+            newp = []
+            for tk in old:
+                if tk is not None and tk.is_squashed_by(domain, min_iter):
+                    newp.append(None)
+                    changed = True
+                else:
+                    newp.append(tk)
+            if not changed:
+                return
+            x._pipe = newp
+            pub[0] |= bmask
+            if newp[-1] is None:
+                tv[0] &= ~bmask
+            else:
+                tv[0] |= bmask
+            if any(tk is not None for tk in newp):
+                pz[0] |= bmask
+            else:
+                pz[0] &= ~bmask
+
+        self._opbusy.append((tv, pz))
+        return {"ph1": ph1, "ph2": ph2, "tick": tick, "flush": flush}
+
+    def _b_oehb(self, xi, c):
+        V, R, D, F, DCH, FULL = (
+            self.V, self.R, self.D, self.F, self.DCH, self.FULL,
+        )
+        i = self._ci(c.inputs["in"])
+        o = self._ci(c.outputs["out"])
+        Di, Do = D[i], D[o]
+        objs = self.xobj[xi]
+        sv = [0]
+        pub = [0]
+        for lane, x in enumerate(objs):
+            if x._slot is not None:
+                sv[0] |= 1 << lane
+                Do[lane] = x._slot
+
+        # Ticks mutate slots only; the D list is published here, like
+        # the compiled template's `D(o) = _slot`.  A tick must never
+        # write a D list: another component's tick (or a squash flush)
+        # ordered after it would read next cycle's token.
+        def ph1(o=o, sv=sv, pub=pub, Do=Do, objs=objs):
+            ch = 0
+            m = pub[0]
+            pub[0] = 0
+            while m:
+                b = m & -m
+                m ^= b
+                lane = b.bit_length() - 1
+                tok = objs[lane]._slot
+                if tok is not None and Do[lane] is not tok:
+                    Do[lane] = tok
+                    ch |= b
+            V[o] = sv[0]
+            DCH[o] = ch
+
+        def ph2(i=i, o=o, sv=sv):
+            R[i] = (FULL ^ sv[0]) | R[o]
+
+        def tick(i=i, o=o, Di=Di, objs=objs, sv=sv, pub=pub):
+            drop = sv[0] & F[o]
+            fill = F[i]
+            if not (drop | fill):
+                return
+            sv[0] = (sv[0] & ~drop) | fill
+            pub[0] |= fill
+            m = fill
+            while m:
+                b = m & -m
+                m ^= b
+                lane = b.bit_length() - 1
+                objs[lane]._slot = Di[lane]
+            m = drop & ~fill
+            while m:
+                b = m & -m
+                m ^= b
+                objs[b.bit_length() - 1]._slot = None
+
+        def flush(lane, bmask, domain, min_iter, objs=objs, sv=sv):
+            x = objs[lane]
+            s = x._slot
+            if s is not None and s.is_squashed_by(domain, min_iter):
+                x._slot = None
+                sv[0] &= ~bmask
+
+        return {"ph1": ph1, "ph2": ph2, "tick": tick, "flush": flush}
+
+    def _b_tehb(self, xi, c):
+        V, R, D, F, DCH, FORCE, FULL = (
+            self.V, self.R, self.D, self.F, self.DCH, self.FORCE, self.FULL,
+        )
+        i = self._ci(c.inputs["in"])
+        o = self._ci(c.outputs["out"])
+        Di, Do = D[i], D[o]
+        objs = self.xobj[xi]
+        sv = [0]
+        lpo = [0]
+        for lane, x in enumerate(objs):
+            if x._slot is not None:
+                sv[0] |= 1 << lane
+                Do[lane] = x._slot
+
+        def ph1(i=i, o=o, Di=Di, Do=Do, sv=sv, lpo=lpo):
+            s = sv[0]
+            vi = V[i]
+            po = vi & ~s
+            d = po & (DCH[i] | (po & ~lpo[0]) | FORCE[0])
+            lpo[0] = po
+            ch = 0
+            while d:
+                b = d & -d
+                d ^= b
+                lane = b.bit_length() - 1
+                t = Di[lane]
+                if Do[lane] is not t:
+                    Do[lane] = t
+                    ch |= b
+            V[o] = s | vi
+            DCH[o] = ch
+
+        def ph2(i=i, sv=sv):
+            R[i] = FULL ^ sv[0]
+
+        def tick(i=i, o=o, Di=Di, objs=objs, sv=sv):
+            outf = F[o]
+            inf = F[i]
+            s = sv[0]
+            park = inf & ~s & ~outf
+            unpark = s & outf
+            if park:
+                sv[0] |= park
+                m = park
+                while m:
+                    b = m & -m
+                    m ^= b
+                    lane = b.bit_length() - 1
+                    objs[lane]._slot = Di[lane]
+            if unpark:
+                sv[0] &= ~unpark
+                m = unpark
+                while m:
+                    b = m & -m
+                    m ^= b
+                    objs[b.bit_length() - 1]._slot = None
+
+        def flush(lane, bmask, domain, min_iter, objs=objs, sv=sv):
+            x = objs[lane]
+            s = x._slot
+            if s is not None and s.is_squashed_by(domain, min_iter):
+                x._slot = None
+                sv[0] &= ~bmask
+
+        return {"ph1": ph1, "ph2": ph2, "tick": tick, "flush": flush}
+
+    def _buf_fifo_state(self, xi, c):
+        """Shared init for tfifo/fifo: (i, o, Di, Do, objs, cells)."""
+        D = self.D
+        i = self._ci(c.inputs["in"])
+        o = self._ci(c.outputs["out"])
+        Di, Do = D[i], D[o]
+        objs = self.xobj[xi]
+        ne = [0]
+        nf = [0]
+        pub = [0]
+        depth = c.depth
+        for lane, x in enumerate(objs):
+            q = x._items
+            if q:
+                ne[0] |= 1 << lane
+                Do[lane] = q[0]
+            if len(q) < depth:
+                nf[0] |= 1 << lane
+        return i, o, Di, Do, objs, ne, nf, pub, depth
+
+    def _buf_flush(self, objs, ne, nf, pub, depth):
+        def flush(lane, bmask, domain, min_iter):
+            x = objs[lane]
+            q = x._items
+            newq = type(q)(
+                tk for tk in q if not tk.is_squashed_by(domain, min_iter)
+            )
+            if len(newq) == len(q):
+                return
+            x._items = newq
+            pub[0] |= bmask
+            if newq:
+                ne[0] |= bmask
+            else:
+                ne[0] &= ~bmask
+            if len(newq) < depth:
+                nf[0] |= bmask
+            else:
+                nf[0] &= ~bmask
+
+        return flush
+
+    def _buf_publish(self, pub, Do, objs):
+        """Head publication for tfifo/fifo ph1 (see _b_oehb on why the
+        D list is written here rather than in tick/flush)."""
+        m = pub[0]
+        pub[0] = 0
+        ch = 0
+        while m:
+            b = m & -m
+            m ^= b
+            lane = b.bit_length() - 1
+            q = objs[lane]._items
+            if q:
+                h = q[0]
+                if Do[lane] is not h:
+                    Do[lane] = h
+                    ch |= b
+        return ch
+
+    def _b_tfifo(self, xi, c):
+        V, R, D, F, DCH, FORCE = (
+            self.V, self.R, self.D, self.F, self.DCH, self.FORCE,
+        )
+        i, o, Di, Do, objs, ne, nf, pub, depth = self._buf_fifo_state(xi, c)
+        lpo = [0]
+        publish = self._buf_publish
+
+        def ph1(i=i, o=o, Di=Di, Do=Do, objs=objs, ne=ne, pub=pub,
+                lpo=lpo, publish=publish):
+            ch = publish(pub, Do, objs)
+            nem = ne[0]
+            vi = V[i]
+            po = vi & ~nem
+            d = po & (DCH[i] | (po & ~lpo[0]) | FORCE[0])
+            lpo[0] = po
+            while d:
+                b = d & -d
+                d ^= b
+                lane = b.bit_length() - 1
+                t = Di[lane]
+                if Do[lane] is not t:
+                    Do[lane] = t
+                    ch |= b
+            V[o] = nem | vi
+            DCH[o] = ch
+
+        def ph2(i=i, nf=nf):
+            R[i] = nf[0]
+
+        def tick(i=i, o=o, Di=Di, objs=objs, ne=ne, nf=nf,
+                 pub=pub, depth=depth):
+            outf = F[o]
+            inf = F[i]
+            nem = ne[0]
+            w = (nem & (outf | inf)) | (inf & ~nem & ~outf)
+            pub[0] |= w
+            while w:
+                b = w & -w
+                w ^= b
+                lane = b.bit_length() - 1
+                x = objs[lane]
+                q = x._items
+                if (nem >> lane) & 1:
+                    if (outf >> lane) & 1:
+                        q.popleft()
+                    if (inf >> lane) & 1:
+                        q.append(Di[lane])
+                else:
+                    q.append(Di[lane])
+                if q:
+                    ne[0] |= b
+                else:
+                    ne[0] &= ~b
+                if len(q) < depth:
+                    nf[0] |= b
+                else:
+                    nf[0] &= ~b
+
+        return {
+            "ph1": ph1,
+            "ph2": ph2,
+            "tick": tick,
+            "flush": self._buf_flush(objs, ne, nf, pub, depth),
+        }
+
+    def _b_fifo(self, xi, c):
+        V, R, D, F, DCH = self.V, self.R, self.D, self.F, self.DCH
+        i, o, Di, Do, objs, ne, nf, pub, depth = self._buf_fifo_state(xi, c)
+        publish = self._buf_publish
+
+        def ph1(o=o, Do=Do, objs=objs, ne=ne, pub=pub, publish=publish):
+            ch = publish(pub, Do, objs)
+            V[o] = ne[0]
+            DCH[o] = ch
+
+        def ph2(i=i, o=o, nf=nf):
+            R[i] = nf[0] | R[o]
+
+        def tick(i=i, o=o, Di=Di, objs=objs, ne=ne, nf=nf,
+                 pub=pub, depth=depth):
+            outf = F[o]
+            inf = F[i]
+            w = outf | inf
+            pub[0] |= w
+            while w:
+                b = w & -w
+                w ^= b
+                lane = b.bit_length() - 1
+                x = objs[lane]
+                q = x._items
+                if (outf >> lane) & 1:
+                    q.popleft()
+                if (inf >> lane) & 1:
+                    q.append(Di[lane])
+                if q:
+                    ne[0] |= b
+                else:
+                    ne[0] &= ~b
+                if len(q) < depth:
+                    nf[0] |= b
+                else:
+                    nf[0] &= ~b
+
+        return {
+            "ph1": ph1,
+            "ph2": ph2,
+            "tick": tick,
+            "flush": self._buf_flush(objs, ne, nf, pub, depth),
+        }
+
+    def _b_pair_packer(self, xi, c):
+        V, R, D, DCH, FORCE = self.V, self.R, self.D, self.DCH, self.FORCE
+        ix = self._ci(c.inputs["index"])
+        vl = self._ci(c.inputs["value"])
+        o = self._ci(c.outputs["out"])
+        Dx, Dv = D[ix], D[vl]
+        Do = D[o]
+        objs = self.xobj[xi]
+        la = [0]
+
+        def ph1(ix=ix, vl=vl, o=o, Dx=Dx, Dv=Dv, Do=Do, objs=objs, la=la):
+            a = V[ix] & V[vl]
+            d = a & (DCH[ix] | DCH[vl] | (a & ~la[0]) | FORCE[0])
+            la[0] = a
+            ch = 0
+            while d:
+                b = d & -d
+                d ^= b
+                lane = b.bit_length() - 1
+                it = Dx[lane]
+                vt = Dv[lane]
+                _a = objs[lane]._cache
+                if _a[0] is it and _a[1] is vt:
+                    out = _a[2]
+                else:
+                    out = combine((it.value, vt.value), it, vt)
+                    out.version = vt.version
+                    _a[0] = it
+                    _a[1] = vt
+                    _a[2] = out
+                if Do[lane] is not out:
+                    Do[lane] = out
+                    ch |= b
+            V[o] = a
+            DCH[o] = ch
+
+        def ph2(ix=ix, vl=vl, o=o):
+            r = V[ix] & V[vl] & R[o]
+            R[ix] = r
+            R[vl] = r
+
+        return {"ph1": ph1, "ph2": ph2}
+
+    def _b_gen(self, xi, c, value):
+        V, R, D, F, DCH, FORCE = (
+            self.V, self.R, self.D, self.F, self.DCH, self.FORCE,
+        )
+        i = self._ci(c.inputs["in"])
+        o = self._ci(c.outputs["out"])
+        Di, Do = D[i], D[o]
+        objs = self.xobj[xi]
+        la = [0]
+
+        def ph1(i=i, o=o, Di=Di, Do=Do, objs=objs, la=la, value=value):
+            a = V[i]
+            d = a & (DCH[i] | (a & ~la[0]) | FORCE[0])
+            la[0] = a
+            ch = 0
+            while d:
+                b = d & -d
+                d ^= b
+                lane = b.bit_length() - 1
+                t = Di[lane]
+                _a = objs[lane]._cache
+                if _a[0] is not t:
+                    _a[0] = t
+                    _a[1] = t.with_value((value,))
+                out = _a[1]
+                if Do[lane] is not out:
+                    Do[lane] = out
+                    ch |= b
+            V[o] = a
+            DCH[o] = ch
+
+        def ph2(i=i, o=o):
+            R[i] = V[i] & R[o]
+
+        def tick(o=o, objs=objs):
+            m = F[o]
+            while m:
+                b = m & -m
+                m ^= b
+                objs[b.bit_length() - 1].generated += 1
+
+        return {"ph1": ph1, "ph2": ph2, "tick": tick}
+
+    def _b_fake_gen(self, xi, c):
+        return self._b_gen(xi, c, "fake")
+
+    def _b_done_gen(self, xi, c):
+        return self._b_gen(xi, c, "done")
+
+    def _b_called(self, xi, comp):
+        V, R, D, F, DCH = self.V, self.R, self.D, self.F, self.DCH
+        ACT, FORCE = self.ACT, self.FORCE
+        ins = [self._ci(ch) for ch in comp.inputs.values()]
+        outs = [self._ci(ch) for ch in comp.outputs.values()]
+        inrows = [self.chobj[ci] for ci in ins]
+        outrows = [self.chobj[ci] for ci in outs]
+        Din = [D[ci] for ci in ins]
+        Dout = [D[ci] for ci in outs]
+        objs = self.xobj[xi]
+        props = [x.propagate for x in objs]
+        tks = [x.tick for x in objs]
+        obs_ready = bool(comp.observes_output_ready)
+        nouts = len(outs)
+        prevVin = [0] * len(ins)
+        lastRout = [0] * nouts
+        pdch = [0] * nouts
+        pend = [0]  # lanes whose last tick reported a state change
+        trig = [0]
+        ticked = [0]
+        adjchs = ins + outs
+        for ci in outs:
+            self._outsync.append([ci, self.chobj[ci], [0]])
+
+        def ph1(ins=ins, outs=outs, inrows=inrows, outrows=outrows,
+                Din=Din, Dout=Dout, props=props, prevVin=prevVin,
+                pdch=pdch, pend=pend, trig=trig, nouts=nouts):
+            t = pend[0] | FORCE[0]
+            for j, ik in enumerate(ins):
+                v = V[ik]
+                t |= (v ^ prevVin[j]) | DCH[ik]
+                prevVin[j] = v
+            t &= ACT[0]
+            trig[0] = t
+            if not nouts:
+                return
+            if not t:
+                for j, ok in enumerate(outs):
+                    DCH[ok] = pdch[j]
+                    pdch[j] = 0
+                return
+            newd = list(pdch)
+            for j in range(nouts):
+                pdch[j] = 0
+            m = t
+            while m:
+                b = m & -m
+                m ^= b
+                lane = b.bit_length() - 1
+                for j, ik in enumerate(ins):
+                    chx = inrows[j][lane]
+                    if (V[ik] >> lane) & 1:
+                        chx.valid = True
+                        chx.data = Din[j][lane]
+                    else:
+                        chx.valid = False
+                        chx.data = None
+                for j in range(nouts):
+                    chx = outrows[j][lane]
+                    chx.valid = False
+                    chx.data = None
+                props[lane]()
+                for j, ok in enumerate(outs):
+                    chx = outrows[j][lane]
+                    if chx.valid:
+                        V[ok] |= b
+                    else:
+                        V[ok] &= ~b
+                    tok = chx.data
+                    dl = Dout[j]
+                    if dl[lane] is not tok:
+                        dl[lane] = tok
+                        newd[j] |= b
+            for j, ok in enumerate(outs):
+                DCH[ok] = newd[j]
+
+        def ph2(ins=ins, outs=outs, inrows=inrows, outrows=outrows,
+                Din=Din, Dout=Dout, props=props, prevVin=prevVin,
+                lastRout=lastRout, pdch=pdch, trig=trig, nouts=nouts,
+                obs_ready=obs_ready):
+            t = trig[0]
+            a = ACT[0]
+            # A back-edge producer's phase 1 runs *after* this
+            # component's, so its valid/data arrive between our two
+            # phases; the compiled re-drive sees them — so must we.
+            for j, ik in enumerate(ins):
+                v = V[ik]
+                t |= ((v ^ prevVin[j]) | DCH[ik]) & a
+                prevVin[j] = v
+            if obs_ready:
+                for j, ok in enumerate(outs):
+                    r = R[ok]
+                    t |= (r ^ lastRout[j]) & a
+                    lastRout[j] = r
+            m = t
+            while m:
+                b = m & -m
+                m ^= b
+                lane = b.bit_length() - 1
+                for j, ik in enumerate(ins):
+                    chx = inrows[j][lane]
+                    if (V[ik] >> lane) & 1:
+                        chx.valid = True
+                        chx.data = Din[j][lane]
+                    else:
+                        chx.valid = False
+                        chx.data = None
+                    chx.ready = False
+                for j, ok in enumerate(outs):
+                    chx = outrows[j][lane]
+                    chx.valid = False
+                    chx.data = None
+                    chx.ready = bool((R[ok] >> lane) & 1)
+                props[lane]()
+                for j, ik in enumerate(ins):
+                    if inrows[j][lane].ready:
+                        R[ik] |= b
+                    else:
+                        R[ik] &= ~b
+                for j, ok in enumerate(outs):
+                    chx = outrows[j][lane]
+                    if chx.valid:
+                        V[ok] |= b
+                    else:
+                        V[ok] &= ~b
+                    tok = chx.data
+                    dl = Dout[j]
+                    if dl[lane] is not tok:
+                        dl[lane] = tok
+                        pdch[j] |= b
+
+        # Tick gate: a lane ticks when its previous tick reported a
+        # change, it was force-marked (cold start / squash), an adjacent
+        # channel fired or changed valid/ready, an input's data identity
+        # changed, or the object says it is busy.  Anything outside that
+        # set has, by the audited contract, a tick that is a no-op.
+        prevAV = [0] * len(adjchs)
+        prevAR = [0] * len(adjchs)
+
+        def tick(ins=ins, adjchs=adjchs, objs=objs, tks=tks, pend=pend,
+                 ticked=ticked, prevAV=prevAV, prevAR=prevAR):
+            a = ACT[0]
+            if not a:
+                return
+            m = (ticked[0] | FORCE[0]) & a
+            chg = 0
+            for j, ci in enumerate(adjchs):
+                v = V[ci]
+                r = R[ci]
+                chg |= F[ci] | (v ^ prevAV[j]) | (r ^ prevAR[j])
+                prevAV[j] = v
+                prevAR[j] = r
+            for ik in ins:
+                chg |= DCH[ik]
+            m |= chg & a
+            rest = a & ~m
+            while rest:
+                b = rest & -rest
+                rest ^= b
+                if objs[b.bit_length() - 1].is_busy:
+                    m |= b
+            nt = 0
+            while m:
+                b = m & -m
+                m ^= b
+                if tks[b.bit_length() - 1]():
+                    nt |= b
+            ticked[0] = nt
+            pend[0] |= nt
+
+        def flush(lane, bmask, domain, min_iter, objs=objs):
+            objs[lane].flush(domain, min_iter)
+
+        return {"ph1": ph1, "ph2": ph2, "tick": tick, "flush": flush}
+
+    # -- per-cycle plumbing ---------------------------------------------
+    def _settle_fires(self) -> None:
+        """Compute fire planes, any-valid, and the transfer counters."""
+        V, R, F = self.V, self.R, self.F
+        act = self.ACT[0]
+        planes = self._tplanes
+        anyv = 0
+        fany = 0
+        for ci in range(self._nch):
+            v = V[ci]
+            anyv |= v
+            f = v & R[ci] & act
+            F[ci] = f
+            if f:
+                fany |= f
+                p = planes[ci]
+                i = 0
+                while f:
+                    if i == len(p):
+                        p.append(0)
+                    x = p[i]
+                    p[i] = x ^ f
+                    f &= x
+                    i += 1
+        self._anyv = anyv
+        self._fany = fany
+
+    def _sync_called_ready(self) -> None:
+        """Push settled readies onto called-producer output objects.
+
+        Consumer phase-2 blocks write planes, not objects, but a called
+        component's *tick* reads ``out.fires`` — so every lane whose
+        settled ready differs from the object gets refreshed each cycle.
+        """
+        R = self.R
+        act = self.ACT[0]
+        for ent in self._outsync:
+            ci, row, shadow = ent
+            cur = R[ci]
+            diff = (cur ^ shadow[0]) & act
+            shadow[0] = cur
+            while diff:
+                b = diff & -diff
+                diff ^= b
+                lane = b.bit_length() - 1
+                row[lane].ready = bool((cur >> lane) & 1)
+
+    def _check_quiet(self) -> None:
+        """Per-lane deadlock-window accounting (mirrors compiled busy)."""
+        act = self.ACT[0]
+        busy = self._fany
+        for tv, pz in self._opbusy:
+            busy |= pz[0] & ~tv[0]
+        still = act & ~busy
+        if still and self._realbusy:
+            m = still
+            while m:
+                b = m & -m
+                m ^= b
+                lane = b.bit_length() - 1
+                for row in self._realbusy:
+                    if row[lane].is_busy:
+                        still ^= b
+                        break
+        q = self._quiet
+        window = self.deadlock_window
+        tozero = self._nzq & act & ~still
+        while tozero:
+            b = tozero & -tozero
+            tozero ^= b
+            q[b.bit_length() - 1] = 0
+        m = still
+        while m:
+            b = m & -m
+            m ^= b
+            lane = b.bit_length() - 1
+            n = q[lane] + 1
+            q[lane] = n
+            if n >= window:
+                self._raise_deadlock(lane)
+        self._nzq = still
+
+    def _sync_lane(self, lane: int) -> None:
+        """Spill one lane's planes onto its channel objects."""
+        V, R, D = self.V, self.R, self.D
+        for ci in range(self._nch):
+            ch = self.chobj[ci][lane]
+            if (V[ci] >> lane) & 1:
+                ch.valid = True
+                ch.data = D[ci][lane]
+            else:
+                ch.valid = False
+                ch.data = None
+            ch.ready = bool((R[ci] >> lane) & 1)
+
+    def _raise_deadlock(self, lane: int) -> None:
+        self._sync_lane(lane)
+        circ = self.circuits[lane]
+        stuck = [c for c in circ.channels if c.valid and not c.ready]
+        names = ", ".join(c.name for c in stuck[:8])
+        more = "" if len(stuck) <= 8 else f" (+{len(stuck) - 8} more)"
+        raise DeadlockError(
+            f"{circ.name}: no progress for {self.deadlock_window} "
+            f"cycles at cycle {self.cycles}; stalled channels: "
+            f"{names}{more}",
+            stuck_channels=stuck,
+        )
+
+    def _flush_lane(self, lane: int, domain: int, min_iter: int) -> None:
+        """Per-lane replacement for ``Circuit.flush`` during a squash."""
+        bmask = 1 << lane
+        self.FORCE[0] |= bmask
+        for fl in self._flushers:
+            if fl is not None:
+                fl(lane, bmask, domain, min_iter)
+
+    def _retire(self, lane: int) -> None:
+        self.ACT[0] &= ~(1 << lane)
+        self.lane_cycles[lane] = self.cycles
+        # Same post-run contract as the compiled engine: settled
+        # valid/data cleared, ready left as-is.
+        for ci in range(self._nch):
+            ch = self.chobj[ci][lane]
+            ch.valid = False
+            ch.data = None
+        self.circuits[lane].__dict__.pop("flush", None)
+
+    def add_hook(self, lane: int, hook: Callable) -> None:
+        """Register an end-of-cycle hook for one lane (squash controllers)."""
+        self.hooks[lane].append(hook)
+
+    # -- the run loop ----------------------------------------------------
+    def run(self, dones: List[Callable[[], bool]]) -> List[SimulationStats]:
+        """Run every lane to completion; per-lane stats, compiled-identical.
+
+        ``dones[l]`` must carry the ``split = (pre, post)`` attribute of
+        :func:`repro.eval.runner.make_done_condition`; hooks must
+        duck-type as squash controllers — the same preconditions as the
+        compiled engine's fast path, except the vector engine has no
+        synced fallback and raises :class:`VectorUnsupportedError`.
+        """
+        B = self.B
+        if len(dones) != B:
+            raise ValueError(
+                f"expected {B} done conditions, got {len(dones)}"
+            )
+        pres = []
+        posts = []
+        for dn in dones:
+            split = getattr(dn, "split", None)
+            if split is None:
+                raise VectorUnsupportedError(
+                    "vector engine requires a split done condition "
+                    "(see make_done_condition)"
+                )
+            pres.append(split[0])
+            posts.append(split[1])
+        for lane in range(B):
+            for h in self.hooks[lane]:
+                if not hasattr(
+                    getattr(h, "__self__", None), "has_pending_squash"
+                ):
+                    raise VectorUnsupportedError(
+                        "vector engine supports only squash-controller "
+                        "end-of-cycle hooks"
+                    )
+        ACT = self.ACT
+        FORCE = self.FORCE
+        # Squash flushes must hit only the squashed lane: intercept
+        # Circuit.flush per instance for the duration of the run.
+        for lane, circ in enumerate(self.circuits):
+            circ.flush = (
+                lambda domain, min_iter, _l=lane: self._flush_lane(
+                    _l, domain, min_iter
+                )
+            )
+        try:
+            for lane in range(B):
+                if dones[lane]():
+                    self._retire(lane)
+            ph1 = self._ph1
+            ph2 = self._ph2
+            ticks = self._ticks
+            hooks = self.hooks
+            max_cycles = self.max_cycles
+            while ACT[0]:
+                if self.cycles >= max_cycles:
+                    lane = (ACT[0] & -ACT[0]).bit_length() - 1
+                    raise SimulationError(
+                        f"{self.circuits[lane].name}: exceeded "
+                        f"{max_cycles} cycles without completing"
+                    )
+                for fn in ph1:
+                    fn()
+                for fn in ph2:
+                    fn()
+                self._settle_fires()
+                self._sync_called_ready()
+                for fn in ticks:
+                    fn()
+                FORCE[0] = 0
+                m = ACT[0]
+                while m:
+                    b = m & -m
+                    m ^= b
+                    for h in hooks[b.bit_length() - 1]:
+                        h()
+                self.cycles += 1
+                self._check_quiet()
+                cand = ACT[0] & ~self._anyv
+                while cand:
+                    b = cand & -cand
+                    cand ^= b
+                    lane = b.bit_length() - 1
+                    if pres[lane]() and posts[lane]():
+                        self._retire(lane)
+        finally:
+            for circ in self.circuits:
+                circ.__dict__.pop("flush", None)
+        self._finalize()
+        return self.stats
+
+    def _finalize(self) -> None:
+        B = self.B
+        n_evals = self.plan.n_evals
+        totals = _np.zeros(B, dtype=_np.int64)
+        per_channel = _np.zeros(B, dtype=_np.int64) if self.count_transfers \
+            else None
+        nbytes = (B + 7) // 8
+        for ci in range(self._nch):
+            planes = self._tplanes[ci]
+            if per_channel is not None:
+                per_channel[:] = 0
+            acc = per_channel if per_channel is not None else totals
+            for k, plane in enumerate(planes):
+                if not plane:
+                    continue
+                bits = _np.unpackbits(
+                    _np.frombuffer(
+                        plane.to_bytes(nbytes, "little"), dtype=_np.uint8
+                    ),
+                    bitorder="little",
+                )[:B]
+                acc += bits.astype(_np.int64) << k
+            if per_channel is not None:
+                totals += per_channel
+                for lane in range(B):
+                    n = int(per_channel[lane])
+                    if n:
+                        self.chobj[ci][lane].transfers += n
+        for lane in range(B):
+            st = self.stats[lane]
+            st.cycles = self.lane_cycles[lane]
+            st.transfers = int(totals[lane])
+            st.propagate_calls = n_evals * st.cycles
+
+
+# ----------------------------------------------------------------------
+# Single-circuit adapter (make_simulator engine="vector")
+# ----------------------------------------------------------------------
+class VectorSimulator:
+    """B=1 adapter over :class:`VectorBatch` with the simulator surface.
+
+    Exists so ``make_simulator(engine="vector")`` and the engine-
+    equivalence suite can drive the vector code paths through the same
+    interface as every other engine.  Batch throughput comes from
+    :class:`VectorBatch` via ``run_batch``, not from this adapter.
+    """
+
+    engine_name = "vector"
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        max_cycles: int = 1_000_000,
+        deadlock_window: int = 256,
+        fixpoint_cap: int = 10_000,  # accepted for ctor parity; unused
+        trace=None,
+        collect_stats: bool = False,
+        count_transfers: bool = False,
+    ):
+        if trace is not None:
+            raise VectorUnsupportedError(
+                "tracing requires an interpreted engine"
+            )
+        if collect_stats:
+            raise VectorUnsupportedError(
+                "per-channel stall/idle statistics require an interpreted "
+                "engine (use count_transfers=True for transfer counts)"
+            )
+        self.circuit = circuit
+        self.max_cycles = max_cycles
+        self.deadlock_window = deadlock_window
+        self.trace = None
+        self.collect_stats = False
+        self.count_transfers = count_transfers
+        self.stats = SimulationStats()
+        self.end_of_cycle_hooks: List[Callable] = []
+        self.abort_condition: Optional[Callable[[], bool]] = None
+        self._batch = VectorBatch(
+            [circuit],
+            max_cycles=max_cycles,
+            deadlock_window=deadlock_window,
+            count_transfers=count_transfers,
+        )
+        self.plan = self._batch.plan
+
+    def run(self, done: Callable[[], bool]) -> SimulationStats:
+        """Run to completion (one-shot; see :meth:`VectorBatch.run`)."""
+        if self.abort_condition is not None:
+            raise VectorUnsupportedError(
+                "abort_condition requires a scalar engine"
+            )
+        batch = self._batch
+        batch.hooks[0] = list(self.end_of_cycle_hooks)
+        self.stats = batch.run([done])[0]
+        return self.stats
+
+    def run_cycles(self, n: int) -> SimulationStats:
+        """Advance exactly ``n`` cycles (no completion/deadlock checks).
+
+        Equivalence-suite surface, mirroring the other engines'
+        ``run_cycles``; squash-controller hooks are not supported here
+        (use :meth:`run`).
+        """
+        batch = self._batch
+        if self.end_of_cycle_hooks:
+            raise VectorUnsupportedError(
+                "run_cycles does not support end-of-cycle hooks"
+            )
+        ph1, ph2, ticks = batch._ph1, batch._ph2, batch._ticks
+        for _ in range(n):
+            for fn in ph1:
+                fn()
+            for fn in ph2:
+                fn()
+            batch._settle_fires()
+            batch._sync_called_ready()
+            for fn in ticks:
+                fn()
+            batch.FORCE[0] = 0
+            batch.cycles += 1
+        batch.lane_cycles[0] = batch.cycles
+        batch._sync_lane(0)
+        batch._finalize()
+        self.stats = batch.stats[0]
+        return self.stats

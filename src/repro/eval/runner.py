@@ -9,7 +9,7 @@ golden run (the C++ reference), and attach the area/timing estimates
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from ..compile import BuildResult, compile_function
@@ -100,53 +100,44 @@ def make_done_condition(build: BuildResult):
     return done
 
 
-def run_kernel(
-    kernel,
-    config: HardwareConfig,
-    max_cycles: int = 2_000_000,
-    keep_build: bool = False,
-    trace=None,
-    collect_stats: Optional[bool] = None,
-    engine: str = "auto",
-) -> RunResult:
-    """Evaluate one kernel (a :class:`repro.kernels.Kernel`) under ``config``.
+def _prepare(kernel, config: HardwareConfig):
+    """Build one evaluation point up to (but not including) simulation.
 
-    Per-channel statistics default to *off* (the simulator's stat-free
-    fast path) — nothing in the evaluation tables reads them.  Passing a
-    ``trace`` turns them back on so captured waveforms stay complete;
-    ``collect_stats`` overrides either way.  ``engine`` selects the
-    simulation engine (see :func:`repro.dataflow.make_simulator`);
-    :attr:`RunResult.engine` records the engine actually used, which may
-    be an interpreted fallback when the compiler declines the circuit.
+    Returns ``(golden, build)``: the interpreter golden run and the
+    compiled circuit with memory initialized — everything a simulator
+    (scalar or one lane of a vector batch) needs to start.
     """
     fn = kernel.build_ir()
     golden = run_golden(fn, args=kernel.args, memory=kernel.memory_init)
     build = compile_function(fn, config, args=kernel.args)
     build.memory.initialize(kernel.memory_init)
+    return golden, build
 
-    if collect_stats is None:
-        collect_stats = trace is not None
-    sim = make_simulator(build.circuit, engine=engine,
-                         max_cycles=max_cycles, trace=trace,
-                         collect_stats=collect_stats)
-    if build.squash_controller is not None:
-        sim.end_of_cycle_hooks.append(build.squash_controller.end_of_cycle)
-    sim.run(make_done_condition(build))
 
+def _finalize(
+    kernel,
+    config: HardwareConfig,
+    golden,
+    build: BuildResult,
+    cycles: int,
+    transfers: int,
+    engine: str,
+    keep_build: bool = False,
+) -> RunResult:
+    """Collect a finished simulation into a :class:`RunResult`."""
     final = build.memory.snapshot()
     verified = all(
         final.get(name) == values for name, values in golden.memory.items()
     )
-
     result = RunResult(
         kernel=kernel.name,
         config=config,
-        cycles=sim.stats.cycles,
+        cycles=cycles,
         verified=verified,
         memory=final,
         golden=golden.memory,
-        transfers=sim.stats.transfers,
-        engine=sim.engine_name,
+        transfers=transfers,
+        engine=engine,
         build=build if keep_build else None,
     )
     if build.squash_controller is not None:
@@ -169,6 +160,43 @@ def run_kernel(
     return result
 
 
+def run_kernel(
+    kernel,
+    config: HardwareConfig,
+    max_cycles: int = 2_000_000,
+    keep_build: bool = False,
+    trace=None,
+    collect_stats: Optional[bool] = None,
+    engine: str = "auto",
+) -> RunResult:
+    """Evaluate one kernel (a :class:`repro.kernels.Kernel`) under ``config``.
+
+    Per-channel statistics default to *off* (the simulator's stat-free
+    fast path) — nothing in the evaluation tables reads them.  Passing a
+    ``trace`` turns them back on so captured waveforms stay complete;
+    ``collect_stats`` overrides either way.  ``engine`` selects the
+    simulation engine (see :func:`repro.dataflow.make_simulator`);
+    :attr:`RunResult.engine` records the engine actually used, which may
+    be an interpreted fallback when the compiler declines the circuit.
+    """
+    golden, build = _prepare(kernel, config)
+
+    if collect_stats is None:
+        collect_stats = trace is not None
+    sim = make_simulator(build.circuit, engine=engine,
+                         max_cycles=max_cycles, trace=trace,
+                         collect_stats=collect_stats)
+    if build.squash_controller is not None:
+        sim.end_of_cycle_hooks.append(build.squash_controller.end_of_cycle)
+    sim.run(make_done_condition(build))
+
+    return _finalize(
+        kernel, config, golden, build,
+        cycles=sim.stats.cycles, transfers=sim.stats.transfers,
+        engine=sim.engine_name, keep_build=keep_build,
+    )
+
+
 # ----------------------------------------------------------------------
 # Batched execution of one compiled circuit structure
 # ----------------------------------------------------------------------
@@ -183,17 +211,123 @@ def run_batch(
     The intended use is sweeping *inputs* of a fixed kernel — different
     sizes, seeds or initial memories produce circuits with the same
     structure (sizes flow through constants and memory contents, not
-    through the netlist), so with the compiled engine the per-structure
-    plan cache makes every run after the first skip compilation
-    entirely.  ``tests/dataflow/test_codegen.py`` pins exactly that: one
-    cache miss for the whole batch.  Structure changes mid-batch are
-    safe — they compile once each — and interpreted engines simply
-    ignore the cache.
+    through the netlist).  Inputs are grouped by ``structural_key``
+    internally, so callers may freely mix structures; results always
+    come back in input order.
+
+    * ``engine="vector"``: lanes whose *content* is identical (same
+      kernel name, args, initial memory and config — a deterministic
+      simulation requested more than once, the repeated-request shape
+      ROADMAP's simulation service caches) are deduplicated: one
+      representative lane is simulated and its result is copied to the
+      duplicates.  The remaining distinct lanes of every
+      same-structure group run as one lockstep
+      :class:`~repro.dataflow.vector.VectorBatch` — one engine sweep
+      advances all lanes of the group at once.  Groups the vector
+      engine declines fall back to sequential compiled runs; per-lane
+      results are bit-identical in every path.
+    * Scalar engines: sequential runs, no dedup; the per-structure plan
+      cache already makes every compiled run after a group's first skip
+      compilation entirely (``tests/dataflow/test_codegen.py`` pins one
+      cache miss per structure).
     """
-    return [
-        run_kernel(k, config, max_cycles=max_cycles, engine=engine)
-        for k in kernels
-    ]
+    if engine != "vector":
+        return [
+            run_kernel(k, config, max_cycles=max_cycles, engine=engine)
+            for k in kernels
+        ]
+
+    from ..dataflow.codegen import structural_key
+    from ..dataflow.vector import VectorBatch
+    from ..errors import VectorUnsupportedError
+
+    def content_key(kernel):
+        return (
+            kernel.name,
+            tuple(sorted(kernel.args.items())),
+            tuple(
+                (name, tuple(values))
+                for name, values in sorted(kernel.memory_init.items())
+            ),
+            repr(config),
+        )
+
+    # Content dedup: only the first lane of each identical-content run
+    # is prepared and simulated; `dups` maps result index -> source.
+    reps: Dict[tuple, int] = {}
+    dups: Dict[int, int] = {}
+    lead: List[int] = []
+    for idx, k in enumerate(kernels):
+        try:
+            key = content_key(k)
+        except TypeError:  # unhashable arg value: treat lane as unique
+            key = ("__lane__", idx)
+        if key in reps:
+            dups[idx] = reps[key]
+        else:
+            reps[key] = idx
+            lead.append(idx)
+
+    preps = [(kernels[i], *_prepare(kernels[i], config)) for i in lead]
+    groups: Dict[tuple, List[int]] = {}
+    for idx, (_k, _golden, build) in enumerate(preps):
+        groups.setdefault(structural_key(build.circuit), []).append(idx)
+
+    results: List[Optional[RunResult]] = [None] * len(preps)
+    for lanes in groups.values():
+        try:
+            batch = VectorBatch(
+                [preps[i][2].circuit for i in lanes],
+                max_cycles=max_cycles,
+            )
+            for lane, i in enumerate(lanes):
+                ctrl = preps[i][2].squash_controller
+                if ctrl is not None:
+                    batch.add_hook(lane, ctrl.end_of_cycle)
+            stats = batch.run(
+                [make_done_condition(preps[i][2]) for i in lanes]
+            )
+        except VectorUnsupportedError:
+            for i in lanes:
+                kernel, golden, build = preps[i]
+                sim = make_simulator(build.circuit, engine="compiled",
+                                     max_cycles=max_cycles)
+                if build.squash_controller is not None:
+                    sim.end_of_cycle_hooks.append(
+                        build.squash_controller.end_of_cycle
+                    )
+                sim.run(make_done_condition(build))
+                results[i] = _finalize(
+                    kernel, config, golden, build,
+                    cycles=sim.stats.cycles,
+                    transfers=sim.stats.transfers,
+                    engine=sim.engine_name,
+                )
+            continue
+        for lane, i in enumerate(lanes):
+            kernel, golden, build = preps[i]
+            results[i] = _finalize(
+                kernel, config, golden, build,
+                cycles=stats[lane].cycles,
+                transfers=stats[lane].transfers,
+                engine="vector",
+            )
+
+    # Demux back to input order, materializing deduplicated lanes as
+    # copies of their representative's result (results are value
+    # objects; the dicts are copied so callers may mutate freely).
+    prep_of = {orig: j for j, orig in enumerate(lead)}
+    out: List[RunResult] = []
+    for idx in range(len(kernels)):
+        src = results[prep_of[dups.get(idx, idx)]]
+        if idx in dups:
+            src = replace(
+                src,
+                memory={k: list(v) for k, v in src.memory.items()},
+                violations_by_kind=dict(src.violations_by_kind),
+            )
+        out.append(src)
+    return out
 
 
 # ----------------------------------------------------------------------

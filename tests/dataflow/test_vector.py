@@ -1,0 +1,253 @@
+"""The lockstep vector engine is bit-identical to the scalar engines.
+
+:mod:`repro.dataflow.vector` runs B same-structure circuits in lockstep
+on bit-packed lane planes.  These tests pin it to the compiled engine
+(itself pinned to the seed engine by ``test_engine_equivalence``): same
+cycle counts, same transfer counts, same squash behaviour, same final
+memory — per lane, at batch sizes 1, 7 and 64, on the paper kernel
+grid, the PreVV stress grid, and randomly generated circuits.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile import compile_function
+from repro.dataflow import (
+    CompiledSimulator,
+    ReferenceSimulator,
+    VectorBatch,
+    VectorSimulator,
+    clear_vector_plan_cache,
+    make_simulator,
+    vector_plan_cache_stats,
+    vector_plan_for,
+)
+from repro.errors import VectorUnsupportedError
+from repro.eval.configs import ALL_CONFIGS, DYNAMATIC, PREVV16
+from repro.eval.runner import make_done_condition, run_batch, run_kernel
+from repro.kernels import get_kernel
+
+from .test_engine_equivalence import (
+    PREVV_STRESS_CONFIGS,
+    PREVV_STRESS_KERNELS,
+    SIZES,
+    _random_circuit,
+    _run,
+    _run_prevv,
+)
+
+
+# ----------------------------------------------------------------------
+# Batch size 1: the make_simulator adapter on the scalar grids
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kernel_name", sorted(SIZES))
+@pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.name)
+def test_kernel_grid_bit_identical(kernel_name, config):
+    compiled = _run(CompiledSimulator, kernel_name, config)
+    vector = _run(VectorSimulator, kernel_name, config)
+    assert vector == compiled
+
+
+@pytest.mark.parametrize("kernel_name", PREVV_STRESS_KERNELS)
+@pytest.mark.parametrize(
+    "config", PREVV_STRESS_CONFIGS, ids=lambda c: c.name
+)
+def test_prevv_stress_grid_bit_identical(kernel_name, config):
+    compiled = _run_prevv(CompiledSimulator, kernel_name, config)
+    vector = _run_prevv(VectorSimulator, kernel_name, config)
+    assert vector == compiled
+
+
+# ----------------------------------------------------------------------
+# Batch sizes 7 and 64: per-lane results through run_batch
+# ----------------------------------------------------------------------
+def _pin_lanes(kernels, config):
+    """run_batch(vector) vs per-lane scalar compiled runs, full pin."""
+    batch = run_batch(kernels, config, engine="vector")
+    for res, kernel in zip(batch, kernels):
+        base = run_kernel(kernel, config, engine="compiled")
+        assert res.engine == "vector"
+        assert res.kernel == base.kernel == kernel.name
+        got = (res.cycles, res.transfers, res.squashes,
+               res.squashed_iterations, res.benign_reorders,
+               res.fake_tokens, res.violations_by_kind,
+               res.verified, res.memory)
+        want = (base.cycles, base.transfers, base.squashes,
+                base.squashed_iterations, base.benign_reorders,
+                base.fake_tokens, base.violations_by_kind,
+                base.verified, base.memory)
+        assert got == want, (kernel.name, kernel.args)
+        assert res.verified
+
+
+def test_batch7_prevv_varied_sizes():
+    """Seven gaussian lanes of different sizes: squash traffic and
+    staggered lane retirement under one PreVV batch."""
+    kernels = [get_kernel("gaussian", n=n) for n in range(4, 11)]
+    _pin_lanes(kernels, PREVV16)
+
+
+def test_batch64_varied_sizes():
+    """64 vadd lanes, every size distinct: full-width lane planes."""
+    kernels = [get_kernel("vadd", n=n) for n in range(4, 68)]
+    _pin_lanes(kernels, DYNAMATIC)
+
+
+def test_batch64_with_duplicate_lanes():
+    """Duplicate lanes are deduplicated, results still per-lane exact."""
+    sizes = [4 + (i % 8) for i in range(64)]  # 8 distinct x 8 copies
+    kernels = [get_kernel("vadd", n=n) for n in sizes]
+    batch = run_batch(kernels, DYNAMATIC, engine="vector")
+    base = {n: run_kernel(get_kernel("vadd", n=n), DYNAMATIC,
+                          engine="compiled") for n in sorted(set(sizes))}
+    for res, n in zip(batch, sizes):
+        assert (res.cycles, res.transfers, res.verified, res.memory) == (
+            base[n].cycles, base[n].transfers, base[n].verified,
+            base[n].memory,
+        )
+    # deduplicated lanes own their result dicts
+    first, last = batch[0], batch[56]
+    assert first.memory == last.memory
+    assert first.memory is not last.memory
+
+
+def test_run_batch_mixed_structures_preserve_order():
+    """Different structural keys in one call: grouped internally,
+    results in input order."""
+    kernels = [
+        get_kernel("vadd"),
+        get_kernel("gaussian", n=6),
+        get_kernel("vadd", n=13),
+        get_kernel("histogram", n=20, buckets=6),
+        get_kernel("gaussian", n=8),
+    ]
+    batch = run_batch(kernels, PREVV16, engine="vector")
+    assert [r.kernel for r in batch] == [k.name for k in kernels]
+    for res, kernel in zip(batch, kernels):
+        base = run_kernel(kernel, PREVV16, engine="compiled")
+        assert (res.cycles, res.transfers, res.squashes, res.memory) == (
+            base.cycles, base.transfers, base.squashes, base.memory,
+        )
+
+
+def test_run_batch_falls_back_to_compiled(monkeypatch):
+    """A declined batch quietly runs sequential compiled lanes."""
+    import repro.dataflow.vector as vector_mod
+
+    def decline(*_a, **_k):
+        raise VectorUnsupportedError("test decline")
+
+    monkeypatch.setattr(vector_mod, "VectorBatch", decline)
+    kernels = [get_kernel("vadd", n=n) for n in (4, 5)]
+    batch = run_batch(kernels, DYNAMATIC, engine="vector")
+    for res, kernel in zip(batch, kernels):
+        base = run_kernel(kernel, DYNAMATIC, engine="compiled")
+        assert res.engine == "compiled"
+        assert (res.cycles, res.transfers, res.memory) == (
+            base.cycles, base.transfers, base.memory,
+        )
+
+
+# ----------------------------------------------------------------------
+# Random circuits (hypothesis)
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    stages=st.lists(st.integers(0, 5), min_size=1, max_size=6),
+    limit=st.integers(1, 8),
+    cycles=st.integers(1, 40),
+)
+def test_random_circuits_bit_identical(stages, limit, cycles):
+    results = []
+    for build_sim in (
+        lambda c: ReferenceSimulator(c),
+        lambda c: VectorSimulator(c),
+    ):
+        circuit, sink = _random_circuit(stages, 0, limit)
+        sim = build_sim(circuit)
+        sim.run_cycles(cycles)
+        results.append(
+            (sim.stats.cycles, sim.stats.transfers, sink.values)
+        )
+    assert results[1] == results[0]
+
+
+# ----------------------------------------------------------------------
+# Engine selection, plan cache, guard rails
+# ----------------------------------------------------------------------
+def _build(kernel_name, config, **overrides):
+    kernel = get_kernel(kernel_name, **overrides)
+    build = compile_function(kernel.build_ir(), config, args=kernel.args)
+    build.memory.initialize(kernel.memory_init)
+    return build
+
+
+def test_make_simulator_selects_vector():
+    build = _build("vadd", DYNAMATIC)
+    sim = make_simulator(build.circuit, engine="vector")
+    assert isinstance(sim, VectorSimulator)
+    assert sim.engine_name == "vector"
+
+
+def test_make_simulator_vector_falls_back_to_compiled():
+    """Not vectorizable but compilable: engine="vector" degrades."""
+    from repro.dataflow.vector import _FLUSH_OVERRIDING_TAGS, _INLINE, _class_key
+
+    build = _build("vadd", DYNAMATIC)
+    comp = next(
+        c for c in build.circuit.components
+        if _INLINE.get(_class_key(type(c))) not in (
+            None, *_FLUSH_OVERRIDING_TAGS,
+        )
+    )
+    comp.flush = type(comp).flush.__get__(comp)
+    sim = make_simulator(build.circuit, engine="vector")
+    assert isinstance(sim, CompiledSimulator)
+
+
+def test_vector_plan_cached_per_structure():
+    clear_vector_plan_cache()
+    b1 = _build("vadd", DYNAMATIC)
+    b2 = _build("vadd", DYNAMATIC, n=13)
+    p1 = vector_plan_for(b1.circuit)
+    p2 = vector_plan_for(b2.circuit)
+    assert p1 is p2  # sizes flow through constants, not the netlist
+    stats = vector_plan_cache_stats()
+    assert stats["misses"] == 1
+    assert stats["hits"] >= 1
+
+
+def test_vector_batch_rejects_mixed_structures():
+    b1 = _build("vadd", DYNAMATIC)
+    b2 = _build("gaussian", DYNAMATIC, n=6)
+    with pytest.raises(VectorUnsupportedError, match="structure differs"):
+        VectorBatch([b1.circuit, b2.circuit])
+
+
+def test_vector_batch_rejects_shared_circuit_instance():
+    build = _build("vadd", DYNAMATIC)
+    with pytest.raises(VectorUnsupportedError, match="own circuit"):
+        VectorBatch([build.circuit, build.circuit])
+
+
+def test_vector_simulator_rejects_stats_and_trace():
+    build = _build("vadd", DYNAMATIC)
+    with pytest.raises(VectorUnsupportedError):
+        VectorSimulator(build.circuit, collect_stats=True)
+    with pytest.raises(VectorUnsupportedError):
+        VectorSimulator(build.circuit, trace=object())
+
+
+def test_vector_batch_runs_lanes_to_separate_completion():
+    """Short lanes retire without waiting for long lanes."""
+    builds = [_build("vadd", DYNAMATIC, n=n) for n in (4, 40)]
+    batch = VectorBatch([b.circuit for b in builds])
+    stats = batch.run([make_done_condition(b) for b in builds])
+    assert stats[0].cycles < stats[1].cycles
+    for b, st_ in zip(builds, stats):
+        base = run_kernel(
+            get_kernel("vadd", n=len(b.memory.snapshot()["a"])),
+            DYNAMATIC, engine="compiled",
+        )
+        assert st_.cycles == base.cycles
