@@ -231,6 +231,10 @@ def run_batch(
       compilation entirely (``tests/dataflow/test_codegen.py`` pins one
       cache miss per structure).
     """
+    # The vector path indexes and re-measures ``kernels`` several times
+    # (dedup scan, prep, demux), so materialize iterators up front —
+    # callers may hand in a generator expression.
+    kernels = list(kernels)
     if engine != "vector":
         return [
             run_kernel(k, config, max_cycles=max_cycles, engine=engine)

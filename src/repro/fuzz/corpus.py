@@ -1,0 +1,125 @@
+"""The committed regression corpus: shrunk failures that live forever.
+
+Each corpus entry is one JSON file holding a serialized
+:class:`~repro.fuzz.spec.KernelSpec` plus provenance (why it was saved,
+which invariant it violated, the shrink trajectory) and a *status*:
+
+* ``guard`` — the failure has been fixed (or was induced by a deliberate
+  sabotage); the replay test re-runs the full differential harness and
+  demands a clean report, so the bug staying fixed is a tier-1 fact;
+* ``open`` — a real, still-unfixed finding; the replay test demands the
+  failure *still reproduces*, so whoever fixes it is forced to flip the
+  entry to ``guard`` (and the corpus doubles as the model's known-issue
+  tracker).
+
+The parametrized replay test lives in
+``tests/fuzz/test_corpus_replay.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .spec import KernelSpec, spec_from_dict
+
+#: corpus schema version, bumped on incompatible spec-format changes
+CORPUS_VERSION = 1
+
+#: valid entry statuses
+STATUSES = ("guard", "open")
+
+
+@dataclass
+class CorpusEntry:
+    """One committed corpus file, decoded."""
+
+    filename: str
+    spec: KernelSpec
+    status: str = "guard"
+    reason: str = ""
+    invariant: str = ""
+    provenance: Dict[str, object] = field(default_factory=dict)
+
+
+def default_corpus_dir() -> str:
+    """``tests/fuzz/corpus`` relative to the repository root.
+
+    Resolved from this file's location (``src/repro/fuzz`` -> repo root)
+    so the CLI and the replay test agree without configuration; callers
+    outside a source checkout pass an explicit directory instead.
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "tests", "fuzz", "corpus")
+
+
+def save_spec(
+    spec: KernelSpec,
+    directory: Optional[str] = None,
+    reason: str = "",
+    invariant: str = "",
+    status: str = "guard",
+    provenance: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write one spec (+ provenance) to the corpus; returns the path."""
+    if status not in STATUSES:
+        raise ValueError(f"status must be one of {STATUSES}, not {status!r}")
+    directory = directory or default_corpus_dir()
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{spec.name}.json")
+    payload = {
+        "version": CORPUS_VERSION,
+        "status": status,
+        "reason": reason,
+        "invariant": invariant,
+        "provenance": provenance or {},
+        "spec": spec.to_dict(),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_entry(path: str) -> CorpusEntry:
+    """Read one corpus file back into a :class:`CorpusEntry`."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("version") != CORPUS_VERSION:
+        raise ValueError(
+            f"{path}: corpus version {payload.get('version')!r}"
+            f" != {CORPUS_VERSION}"
+        )
+    status = payload.get("status", "guard")
+    if status not in STATUSES:
+        raise ValueError(f"{path}: unknown status {status!r}")
+    return CorpusEntry(
+        filename=os.path.basename(path),
+        spec=spec_from_dict(payload["spec"]),
+        status=status,
+        reason=payload.get("reason", ""),
+        invariant=payload.get("invariant", ""),
+        provenance=payload.get("provenance", {}),
+    )
+
+
+def load_spec(path: str) -> KernelSpec:
+    """Read one corpus entry's spec (provenance discarded)."""
+    return load_entry(path).spec
+
+
+def corpus_entries(
+    directory: Optional[str] = None,
+) -> List[CorpusEntry]:
+    """All corpus entries, sorted by filename."""
+    directory = directory or default_corpus_dir()
+    if not os.path.isdir(directory):
+        return []
+    return [
+        load_entry(os.path.join(directory, name))
+        for name in sorted(os.listdir(directory))
+        if name.endswith(".json")
+    ]

@@ -1,0 +1,302 @@
+"""Seeded random sampling of the fuzz kernel grammar.
+
+:func:`generate_spec` maps ``(seed, index)`` to one
+:class:`~repro.fuzz.spec.KernelSpec` deterministically — two generator
+instances with the same coordinates produce structurally identical IR
+(same :func:`~repro.dataflow.codegen.structural_key`) and identical
+golden runs, which ``tests/fuzz/test_generator.py`` pins.
+
+The sampler is biased toward the shapes that exercise the memory
+subsystem rather than uniform over the grammar:
+
+* every nest contains at least one store whose value expression *reads
+  the stored array* (a may-RAW pair, so dynamic disambiguation hardware
+  is actually instantiated);
+* ~1/4 of nests get a distance-1 loop-carried recurrence
+  (``t[i+1] = f(t[i])``) — the premature-validation worst case;
+* about a third of loads are re-routed through an index array in a
+  second pass (non-affine subscripts: the polyhedral layer must give
+  up and the prover reports UNKNOWN);
+* reductions, guarded stores and multi-nest kernels appear often enough
+  that fake tokens, conditional groups and cross-nest hazards all show
+  up within a few dozen kernels.
+
+One shape is deliberately outside the grammar: two *independent*
+statements in the same innermost body touching the same array.  With no
+dataflow edge between them, a same-iteration may-alias replays exactly
+the race it squashed every time — a deterministic livelock inherent to
+premature validation (no store queue means nothing orders the pair), so
+it cannot terminate under any PreVV depth.  Hazards stay expressed as
+within-statement RMW pairs (ordered by the value dependence) and
+cross-iteration recurrences (resolved because the older iteration's
+commit survives the squash).
+
+Sampling happens in two phases: statements are generated affine-only,
+then every array is sized to cover the maximum statically reachable
+subscript, and only then (sizes known) some loads become indirect.  Only
+``random.Random`` methods with cross-version stable algorithms
+(``randrange``/``random``) are used, via thin helpers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from .spec import (
+    Affine,
+    ArraySpec,
+    Expr,
+    Guard,
+    KernelSpec,
+    LoopSpec,
+    NestSpec,
+    ReduceStmt,
+    StoreStmt,
+    Subscript,
+    validate_spec,
+)
+
+_NEST_TAGS = ("p", "q")
+_IV_NAMES = ("i", "j", "k")
+
+
+def _choice(rng: random.Random, seq):
+    return seq[rng.randrange(len(seq))]
+
+
+def _weighted(rng: random.Random, pairs):
+    """``pairs``: (value, weight) — integer-weight roulette wheel."""
+    total = sum(w for _, w in pairs)
+    pick = rng.randrange(total)
+    for value, weight in pairs:
+        if pick < weight:
+            return value
+        pick -= weight
+    raise AssertionError("unreachable")
+
+
+def _affine_hi(affine: Affine, bounds: Dict[str, int]) -> int:
+    return affine.const + sum(
+        c * (bounds[iv] - 1) for iv, c in affine.coeffs.items()
+    )
+
+
+def _affine(rng: random.Random, ivs: List[str],
+            max_const: int = 3) -> Affine:
+    """Random affine over a subset of ``ivs`` (possibly const-only)."""
+    coeffs: Dict[str, int] = {}
+    if ivs:
+        n_terms = _weighted(rng, [(1, 6), (2, 3), (0, 1)])
+        for iv in ivs:
+            if len(coeffs) >= n_terms:
+                break
+            if rng.random() < 0.7 or (not coeffs and iv == ivs[-1]):
+                coeffs[iv] = _weighted(rng, [(1, 6), (2, 3), (3, 1)])
+    const = rng.randrange(max_const + 1)
+    return Affine(const=const, coeffs=coeffs)
+
+
+def _expr(rng, ivs, data_arrays, depth: int = 2,
+          acc_ok: bool = False) -> Expr:
+    kind = _weighted(rng, [
+        ("load", 5), ("bin", 4 if depth > 0 else 0),
+        ("iv", 2 if ivs else 0), ("const", 2),
+        ("acc", 2 if acc_ok else 0),
+    ])
+    if kind == "const":
+        return Expr("const", value=rng.randrange(1, 6))
+    if kind == "iv":
+        return Expr("iv", name=_choice(rng, ivs))
+    if kind == "acc":
+        return Expr("acc")
+    if kind == "load":
+        return Expr("load", array=_choice(rng, data_arrays),
+                    subscript=Subscript(affine=_affine(rng, ivs)))
+    op = _weighted(rng, [("add", 5), ("sub", 2), ("mul", 3),
+                         ("and", 1), ("or", 1), ("xor", 2)])
+    return Expr(
+        "bin", op=op,
+        lhs=_expr(rng, ivs, data_arrays, depth - 1, acc_ok),
+        rhs=_expr(rng, ivs, data_arrays, depth - 1, acc_ok),
+    )
+
+
+def _guard(rng, ivs, bounds) -> Guard:
+    affine = _affine(rng, ivs, max_const=1)
+    if not affine.coeffs and ivs:
+        affine.coeffs[_choice(rng, ivs)] = 1
+    if rng.random() < 0.6:
+        return Guard(affine=affine, op=_choice(rng, ("eq", "ne")),
+                     rhs=rng.randrange(2), parity=True)
+    hi = _affine_hi(affine, bounds)
+    return Guard(affine=affine, op=_choice(rng, ("lt", "le", "gt", "ge")),
+                 rhs=rng.randrange(max(hi, 1)), parity=False)
+
+
+def _walk_stmt_exprs(stmt):
+    stack = [stmt.expr]
+    while stack:
+        e = stack.pop()
+        if e.kind == "bin":
+            stack.extend((e.lhs, e.rhs))
+        else:
+            yield e
+
+
+def _subscripts_of(nest: NestSpec):
+    """Every (subscript, array) access the nest makes, loads and stores."""
+    for stmt in nest.stmts:
+        if isinstance(stmt, StoreStmt):
+            yield stmt.subscript, stmt.array
+        else:
+            yield stmt.out_subscript, stmt.out_array
+        for e in _walk_stmt_exprs(stmt):
+            if e.kind == "load":
+                yield e.subscript, e.array
+
+
+def generate_spec(seed: int, index: int = 0) -> KernelSpec:
+    """Deterministically sample one kernel spec at ``(seed, index)``."""
+    rng = random.Random((seed << 20) ^ index)
+
+    n_nests = _weighted(rng, [(1, 7), (2, 3)])
+    n_data = rng.randrange(2, 4)
+    data_arrays = [f"a{d}" for d in range(n_data)]
+    want_index_array = rng.random() < 0.55
+
+    nests: List[NestSpec] = []
+    for ni in range(n_nests):
+        tag = _NEST_TAGS[ni]
+        depth = _weighted(rng, [(1, 5), (2, 4), (3, 1)])
+        loops = [
+            LoopSpec(iv=f"{tag}{_IV_NAMES[li]}",
+                     bound=rng.randrange(2, 7))
+            for li in range(depth)
+        ]
+        ivs = [lp.iv for lp in loops]
+        bounds = {lp.iv: lp.bound for lp in loops}
+        outer_ivs = ivs[:-1]
+
+        stmts: List[object] = []
+
+        # Statement 1: guaranteed may-RAW read-modify-write store.
+        target = _choice(rng, data_arrays)
+        if rng.random() < 0.25:
+            # Distance-1 recurrence: t[iv + 1] = f(t[iv]).
+            iv = ivs[-1]
+            load = Expr("load", array=target,
+                        subscript=Subscript(affine=Affine(coeffs={iv: 1})))
+            value = _weighted(rng, [
+                (Expr("bin", op="add", lhs=load,
+                      rhs=Expr("const", value=rng.randrange(1, 4))), 3),
+                (Expr("bin", op="mul", lhs=load,
+                      rhs=Expr("bin", op="add",
+                               lhs=Expr("iv", name=iv),
+                               rhs=Expr("const", value=1))), 2),
+            ])
+            stmts.append(StoreStmt(
+                array=target,
+                subscript=Subscript(affine=Affine(const=1,
+                                                  coeffs={iv: 1})),
+                expr=value,
+            ))
+        else:
+            sub = Subscript(affine=_affine(rng, ivs))
+            load = Expr("load", array=target, subscript=sub)
+            rhs = _expr(rng, ivs, data_arrays, depth=1)
+            op = _choice(rng, ("add", "xor", "sub"))
+            guard = _guard(rng, ivs, bounds) if rng.random() < 0.3 else None
+            stmts.append(StoreStmt(
+                array=target,
+                subscript=Subscript(affine=Affine(const=sub.affine.const,
+                                                  coeffs=dict(
+                                                      sub.affine.coeffs))),
+                expr=Expr("bin", op=op, lhs=load, rhs=rhs),
+                guard=guard,
+            ))
+
+        # Statement 2 (sometimes): a reduction or an extra store.  It may
+        # only touch arrays statement 1 leaves alone: a same-iteration
+        # store->load (or load->store) pair across *independent*
+        # statements has no dataflow edge ordering the two accesses, so
+        # under PreVV a may-alias between them replays the very race it
+        # squashed — a deterministic livelock, not a detectable bug.
+        # Within one statement the value loads feed the store, and
+        # cross-iteration races resolve because the older iteration's
+        # commit survives the squash; only this cross-statement shape is
+        # excluded.
+        conflict = {target}
+        for e in _walk_stmt_exprs(stmts[0]):
+            if e.kind == "load":
+                conflict.add(e.array)
+        free_arrays = [a for a in data_arrays if a not in conflict]
+        extra = rng.random()
+        if extra < 0.25 and free_arrays:
+            stmts.append(ReduceStmt(
+                op=_choice(rng, ("add", "xor")),
+                expr=_expr(rng, ivs, free_arrays, depth=1, acc_ok=True),
+                out_array=_choice(rng, free_arrays),
+                out_subscript=Subscript(
+                    affine=_affine(rng, outer_ivs, max_const=2)),
+                init=rng.randrange(3),
+            ))
+        elif extra < 0.5 and free_arrays:
+            guard = _guard(rng, ivs, bounds) if rng.random() < 0.4 else None
+            stmts.append(StoreStmt(
+                array=_choice(rng, free_arrays),
+                subscript=Subscript(affine=_affine(rng, ivs)),
+                expr=_expr(rng, ivs, free_arrays, depth=2),
+                guard=guard,
+            ))
+
+        nests.append(NestSpec(tag=tag, loops=loops, stmts=stmts))
+
+    # Phase 2: size every array to cover the maximum statically
+    # reachable subscript (uniform size keeps indirection trivially in
+    # bounds: index values are capped at size - 1).
+    max_hi = 1
+    for nest in nests:
+        bounds = {lp.iv: lp.bound for lp in nest.loops}
+        for sub, _array in _subscripts_of(nest):
+            max_hi = max(max_hi, _affine_hi(sub.affine, bounds) + sub.offset)
+    size = max_hi + 2
+
+    arrays: Dict[str, ArraySpec] = {}
+    for d, name in enumerate(data_arrays):
+        arrays[name] = ArraySpec(
+            size=size,
+            init_seed=100 + (seed % 1000) * 7 + d,
+            lo=0,
+            hi=min(size - 1, 9),
+        )
+    if want_index_array:
+        arrays["idx"] = ArraySpec(
+            size=size,
+            init_seed=500 + (seed % 1000) * 3,
+            lo=0,
+            hi=size - 1,
+        )
+
+    # Phase 3 (sizes known): some loads become indirect.  Store
+    # subscripts stay affine so the interpreter/golden memory exercises
+    # both prover outcomes (affine stores vs non-affine loads).
+    if want_index_array:
+        for nest in nests:
+            for stmt in nest.stmts:
+                for e in _walk_stmt_exprs(stmt):
+                    if (
+                        e.kind == "load"
+                        and e.array != "idx"
+                        and e.subscript.indirect is None
+                        and rng.random() < 0.35
+                    ):
+                        e.subscript.indirect = "idx"
+
+    spec = KernelSpec(
+        name=f"fuzz_s{seed}_k{index}",
+        arrays=arrays,
+        nests=nests,
+    )
+    validate_spec(spec)
+    return spec

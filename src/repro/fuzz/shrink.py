@@ -1,0 +1,369 @@
+"""Delta debugging: minimize a failing kernel spec.
+
+:func:`shrink_spec` takes a spec and a *predicate* (``spec -> bool``,
+True while the failure still reproduces — typically "the differential
+harness reports a divergence") and greedily applies reduction passes to
+a fixpoint, keeping only candidates that stay valid **and** still fail:
+
+1.  drop a whole nest;
+2.  drop a statement;
+3.  drop a loop level (subscript terms of its iv are removed);
+4.  shrink a loop bound (halve, then decrement, floor 2);
+5.  drop a store guard;
+6.  demote a reduction to a plain store;
+7.  simplify subscripts — remove indirection, drop affine terms and
+    constants, and normalize a read-modify-write pair to the canonical
+    distance-1 hazard (store at ``iv + 1``, load at ``iv``) so the alias
+    that makes the kernel interesting survives minimization;
+8.  simplify value expressions — prune operator trees to a leaf, then
+    collapse leaves toward ``load + const``.
+
+After structural minimization, array sizes are retightened to the
+smallest in-bounds value.  Every candidate is re-validated with
+:func:`~repro.fuzz.spec.validate_spec` before the (expensive) predicate
+runs, so passes can propose aggressively.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from .spec import (
+    Affine,
+    Expr,
+    KernelSpec,
+    ReduceStmt,
+    StoreStmt,
+    Subscript,
+    instruction_count,
+    validate_spec,
+)
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one minimization."""
+
+    spec: KernelSpec
+    original_instructions: int
+    final_instructions: int
+    steps: int = 0
+    #: human-readable log of accepted reductions, in order
+    trail: List[str] = field(default_factory=list)
+
+
+def _valid(spec: KernelSpec) -> bool:
+    try:
+        validate_spec(spec)
+        return True
+    except ValueError:
+        return False
+
+
+def _tighten_arrays(spec: KernelSpec) -> KernelSpec:
+    """Shrink every array to the smallest size that stays in bounds."""
+    spec = copy.deepcopy(spec)
+    for arr in spec.arrays.values():
+        while arr.size > 2:
+            old_size, old_hi = arr.size, arr.hi
+            arr.size -= 1
+            if arr.hi >= arr.size:
+                arr.hi = arr.size - 1
+            if not _valid(spec):
+                arr.size, arr.hi = old_size, old_hi
+                break
+    # Unused arrays (loads/stores removed by earlier passes) disappear.
+    used = set()
+    for nest in spec.nests:
+        for stmt in nest.stmts:
+            if isinstance(stmt, StoreStmt):
+                used.add(stmt.array)
+                subs = [stmt.subscript]
+            else:
+                used.add(stmt.out_array)
+                subs = [stmt.out_subscript]
+            stack = [stmt.expr]
+            while stack:
+                e = stack.pop()
+                if e.kind == "bin":
+                    stack.extend((e.lhs, e.rhs))
+                elif e.kind == "load":
+                    used.add(e.array)
+                    subs.append(e.subscript)
+            for sub in subs:
+                if sub.indirect:
+                    used.add(sub.indirect)
+    spec.arrays = {n: a for n, a in spec.arrays.items() if n in used}
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Candidate enumeration (cheap structural mutations, most drastic first)
+# ----------------------------------------------------------------------
+def _exprs_of(stmt):
+    out = []
+    stack = [("expr", stmt, stmt.expr)]
+    while stack:
+        slot = stack.pop()
+        out.append(slot)
+        _, _, e = slot
+        if e.kind == "bin":
+            stack.append(("lhs", e, e.lhs))
+            stack.append(("rhs", e, e.rhs))
+    return out
+
+
+def _set_expr(slot, new):
+    attr, owner, _ = slot
+    setattr(owner, attr, new)
+
+
+def _candidates(spec: KernelSpec):
+    """Yield ``(label, candidate_spec)`` in decreasing aggressiveness."""
+    # 1. Drop a nest.
+    if len(spec.nests) > 1:
+        for ni in range(len(spec.nests)):
+            c = copy.deepcopy(spec)
+            del c.nests[ni]
+            yield f"drop nest {spec.nests[ni].tag}", c
+
+    # 2. Drop a statement.
+    for ni, nest in enumerate(spec.nests):
+        if len(nest.stmts) > 1:
+            for si in range(len(nest.stmts)):
+                c = copy.deepcopy(spec)
+                del c.nests[ni].stmts[si]
+                yield f"drop {nest.tag}.stmt{si}", c
+
+    # 3. Drop a loop level.
+    for ni, nest in enumerate(spec.nests):
+        if len(nest.loops) > 1:
+            for li in range(len(nest.loops)):
+                c = copy.deepcopy(spec)
+                gone = c.nests[ni].loops[li].iv
+                del c.nests[ni].loops[li]
+                for stmt in c.nests[ni].stmts:
+                    subs = []
+                    if isinstance(stmt, StoreStmt):
+                        subs.append(stmt.subscript)
+                        if stmt.guard is not None:
+                            stmt.guard.affine.coeffs.pop(gone, None)
+                    else:
+                        subs.append(stmt.out_subscript)
+                    for slot in _exprs_of(stmt):
+                        e = slot[2]
+                        if e.kind == "load":
+                            subs.append(e.subscript)
+                        elif e.kind == "iv" and e.name == gone:
+                            _set_expr(slot, Expr("const", value=1))
+                    for sub in subs:
+                        sub.affine.coeffs.pop(gone, None)
+                yield f"drop loop {gone}", c
+
+    # 4. Shrink a loop bound.
+    for ni, nest in enumerate(spec.nests):
+        for li, lp in enumerate(nest.loops):
+            for new in {max(2, lp.bound // 2), lp.bound - 1}:
+                if 2 <= new < lp.bound:
+                    c = copy.deepcopy(spec)
+                    c.nests[ni].loops[li].bound = new
+                    yield f"bound {lp.iv}: {lp.bound} -> {new}", c
+
+    # 5. Drop a guard / 6. demote a reduction.
+    for ni, nest in enumerate(spec.nests):
+        for si, stmt in enumerate(nest.stmts):
+            if isinstance(stmt, StoreStmt) and stmt.guard is not None:
+                c = copy.deepcopy(spec)
+                c.nests[ni].stmts[si].guard = None
+                yield f"drop guard {nest.tag}.stmt{si}", c
+            if isinstance(stmt, ReduceStmt):
+                c = copy.deepcopy(spec)
+                old = c.nests[ni].stmts[si]
+                c.nests[ni].stmts[si] = StoreStmt(
+                    array=old.out_array,
+                    subscript=old.out_subscript,
+                    expr=old.expr if _no_acc(old.expr)
+                    else Expr("const", value=1),
+                )
+                yield f"demote reduce {nest.tag}.stmt{si}", c
+
+    # 7. Simplify subscripts.
+    for ni, nest in enumerate(spec.nests):
+        inner_iv = nest.loops[-1].iv
+        for si, stmt in enumerate(nest.stmts):
+            where = f"{nest.tag}.stmt{si}"
+            for label, mutate in (
+                ("deindirect", _pass_deindirect),
+                ("affine-prune", _pass_affine_prune),
+                ("canonical-hazard", _pass_canonical_hazard),
+            ):
+                c = copy.deepcopy(spec)
+                if mutate(c.nests[ni].stmts[si], inner_iv):
+                    yield f"{label} {where}", c
+
+    # 8. Simplify value expressions.
+    for ni, nest in enumerate(spec.nests):
+        for si, stmt in enumerate(nest.stmts):
+            for ei, slot in enumerate(_exprs_of(stmt)):
+                e = slot[2]
+                if e.kind == "bin":
+                    for pick, side in (("lhs", e.lhs), ("rhs", e.rhs)):
+                        c = copy.deepcopy(spec)
+                        cslot = _exprs_of(c.nests[ni].stmts[si])[ei]
+                        _set_expr(cslot, getattr(cslot[2], pick))
+                        yield (
+                            f"prune {nest.tag}.stmt{si} expr to {pick}", c
+                        )
+                elif e.kind in ("iv", "load") and not (
+                    ei == 0 and isinstance(stmt, StoreStmt)
+                ):
+                    c = copy.deepcopy(spec)
+                    cslot = _exprs_of(c.nests[ni].stmts[si])[ei]
+                    _set_expr(cslot, Expr("const", value=1))
+                    yield f"const-fold {nest.tag}.stmt{si} leaf", c
+
+
+def _no_acc(expr: Expr) -> bool:
+    stack = [expr]
+    while stack:
+        e = stack.pop()
+        if e.kind == "acc":
+            return False
+        if e.kind == "bin":
+            stack.extend((e.lhs, e.rhs))
+    return True
+
+
+def _pass_deindirect(stmt, inner_iv) -> bool:
+    """Replace every indirect subscript with its raw affine."""
+    changed = False
+    subs = []
+    if isinstance(stmt, StoreStmt):
+        subs.append(stmt.subscript)
+    else:
+        subs.append(stmt.out_subscript)
+    for slot in _exprs_of(stmt):
+        if slot[2].kind == "load":
+            subs.append(slot[2].subscript)
+    for sub in subs:
+        if sub.indirect is not None:
+            sub.indirect = None
+            sub.offset = 0
+            changed = True
+    return changed
+
+
+def _pass_affine_prune(stmt, inner_iv) -> bool:
+    """Drop one affine term or zero the constant, first hit wins."""
+    subs = []
+    if isinstance(stmt, StoreStmt):
+        subs.append(stmt.subscript)
+    else:
+        subs.append(stmt.out_subscript)
+    for slot in _exprs_of(stmt):
+        if slot[2].kind == "load":
+            subs.append(slot[2].subscript)
+    for sub in subs:
+        aff = sub.affine
+        for iv in sorted(aff.coeffs):
+            if aff.coeffs[iv] > 1:
+                aff.coeffs[iv] = 1
+                return True
+            if len(aff.coeffs) > 1:
+                del aff.coeffs[iv]
+                return True
+        if aff.const > 1:
+            aff.const = 1
+            return True
+    return False
+
+
+def _pass_canonical_hazard(stmt, inner_iv) -> bool:
+    """Normalize a RMW store to ``a[iv+1] = f(a[iv])``.
+
+    Keeps a genuine distance-1 RAW alias while discarding every other
+    subscript detail — the transformation that lets the shrinker land on
+    the textbook minimal recurrence instead of stalling one term short.
+    """
+    if not isinstance(stmt, StoreStmt):
+        return False
+    loads = [slot[2] for slot in _exprs_of(stmt) if slot[2].kind == "load"]
+    same = [ld for ld in loads if ld.array == stmt.array]
+    if not same:
+        return False
+    want_store = Affine(const=1, coeffs={inner_iv: 1})
+    want_load = Affine(const=0, coeffs={inner_iv: 1})
+    already = (
+        stmt.subscript.indirect is None
+        and stmt.subscript.affine.const == want_store.const
+        and stmt.subscript.affine.coeffs == want_store.coeffs
+        and all(
+            ld.subscript.indirect is None
+            and ld.subscript.affine.const == 0
+            and ld.subscript.affine.coeffs == want_load.coeffs
+            for ld in same
+        )
+    )
+    if already:
+        return False
+    stmt.subscript = Subscript(affine=want_store)
+    for ld in same:
+        ld.subscript = Subscript(affine=copy.deepcopy(want_load))
+    return True
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def shrink_spec(
+    spec: KernelSpec,
+    predicate: Callable[[KernelSpec], bool],
+    max_steps: int = 400,
+) -> ShrinkResult:
+    """Greedy fixpoint minimization of ``spec`` under ``predicate``.
+
+    ``predicate(candidate)`` must return True while the original failure
+    still reproduces; the input spec itself is assumed failing (callers
+    check before shrinking).  First-improvement search: each accepted
+    candidate restarts the pass list, so drastic reductions get retried
+    after small ones unlock them.
+    """
+    current = copy.deepcopy(spec)
+    result = ShrinkResult(
+        spec=current,
+        original_instructions=instruction_count(spec),
+        final_instructions=0,
+    )
+    improved = True
+    while improved and result.steps < max_steps:
+        improved = False
+        for label, candidate in _candidates(current):
+            if result.steps >= max_steps:
+                break
+            if not _valid(candidate):
+                continue
+            result.steps += 1
+            try:
+                still_failing = predicate(candidate)
+            except Exception:  # noqa: BLE001 — reject, stay conservative
+                still_failing = False
+            if still_failing:
+                current = candidate
+                result.trail.append(label)
+                improved = True
+                break
+
+    tightened = _tighten_arrays(current)
+    if _valid(tightened):
+        try:
+            if predicate(tightened):
+                current = tightened
+                result.trail.append("tighten arrays")
+        except Exception:  # noqa: BLE001 — keep the untightened spec
+            pass
+
+    result.spec = current
+    result.final_instructions = instruction_count(current)
+    return result

@@ -1,0 +1,567 @@
+"""The fuzzer's kernel grammar and its translation to IR.
+
+A :class:`KernelSpec` is a *value object* describing one fully-nested
+loop kernel — the only loop shape the elastic builder and the PreVV
+domain analysis accept (see ``repro/kernels/base.py``).  Specs are plain
+dataclasses over ints/strings so they serialize losslessly to JSON: the
+shrinker mutates specs, the corpus commits them, and
+:func:`spec_to_kernel` is the single point where a spec becomes a
+:class:`repro.kernels.Kernel` (IR + args + deterministic inputs).
+
+Grammar (all subscript affines have non-negative coefficients and
+constants, so in-bounds checking is a closed-form range computation):
+
+    kernel  := nest+                      (sequential nests share arrays)
+    nest    := loop{1..3} stmt+           (stmts in the innermost body)
+    stmt    := store | reduce
+    store   := [guard] arr[sub] = expr
+    reduce  := acc op= expr each iter; arr[outer-sub] = acc on last iter
+    sub     := affine | arr[affine] + c   (indirect = non-affine subscript)
+    expr    := const | iv | arr[sub] | expr binop expr
+    binop   := add sub mul and or xor     (div/rem excluded: zero guards)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import Function, IRBuilder
+from ..kernels.base import Kernel, lcg_values
+from ..kernels.nest import NestBuilder
+
+#: binary opcodes the generator may emit inside value expressions
+EXPR_OPS = ("add", "sub", "mul", "and", "or", "xor")
+#: comparison opcodes usable in store guards
+GUARD_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+#: opcodes usable as reduction accumulators
+REDUCE_OPS = ("add", "xor")
+
+
+# ----------------------------------------------------------------------
+# Spec dataclasses
+# ----------------------------------------------------------------------
+@dataclass
+class Affine:
+    """``const + sum(coeffs[iv] * iv)`` over enclosing induction variables."""
+
+    const: int = 0
+    coeffs: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"const": self.const, "coeffs": dict(self.coeffs)}
+
+    @staticmethod
+    def from_dict(d: dict) -> "Affine":
+        return Affine(const=int(d["const"]),
+                      coeffs={k: int(v) for k, v in d["coeffs"].items()})
+
+
+@dataclass
+class Subscript:
+    """Array subscript: affine, optionally routed through an index array.
+
+    With ``indirect`` set the subscript value is
+    ``indirect_array[affine] + offset`` — a non-affine (data-dependent)
+    address, the shape that defeats the polyhedral layer and forces
+    dynamic disambiguation.
+    """
+
+    affine: Affine
+    indirect: Optional[str] = None
+    offset: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "affine": self.affine.to_dict(),
+            "indirect": self.indirect,
+            "offset": self.offset,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "Subscript":
+        return Subscript(
+            affine=Affine.from_dict(d["affine"]),
+            indirect=d.get("indirect"),
+            offset=int(d.get("offset", 0)),
+        )
+
+
+@dataclass
+class Expr:
+    """Value expression tree.
+
+    ``kind`` is one of ``const`` (uses ``value``), ``iv`` (uses ``name``),
+    ``load`` (uses ``array`` + ``subscript``), ``acc`` (the enclosing
+    reduction's accumulator) or ``bin`` (uses ``op``, ``lhs``, ``rhs``).
+    """
+
+    kind: str
+    value: int = 0
+    name: str = ""
+    array: str = ""
+    subscript: Optional[Subscript] = None
+    op: str = ""
+    lhs: Optional["Expr"] = None
+    rhs: Optional["Expr"] = None
+
+    def to_dict(self) -> dict:
+        if self.kind == "const":
+            return {"kind": "const", "value": self.value}
+        if self.kind == "iv":
+            return {"kind": "iv", "name": self.name}
+        if self.kind == "acc":
+            return {"kind": "acc"}
+        if self.kind == "load":
+            return {"kind": "load", "array": self.array,
+                    "subscript": self.subscript.to_dict()}
+        return {"kind": "bin", "op": self.op,
+                "lhs": self.lhs.to_dict(), "rhs": self.rhs.to_dict()}
+
+    @staticmethod
+    def from_dict(d: dict) -> "Expr":
+        kind = d["kind"]
+        if kind == "const":
+            return Expr("const", value=int(d["value"]))
+        if kind == "iv":
+            return Expr("iv", name=d["name"])
+        if kind == "acc":
+            return Expr("acc")
+        if kind == "load":
+            return Expr("load", array=d["array"],
+                        subscript=Subscript.from_dict(d["subscript"]))
+        return Expr("bin", op=d["op"], lhs=Expr.from_dict(d["lhs"]),
+                    rhs=Expr.from_dict(d["rhs"]))
+
+
+@dataclass
+class Guard:
+    """Store condition ``affine cmp rhs`` (e.g. ``(i + 2*j) & 1 == 0``).
+
+    ``parity`` compares ``(affine & 1)`` instead of the raw affine, which
+    keeps guards that are true on roughly half the iterations easy to
+    generate at any loop bound.
+    """
+
+    affine: Affine
+    op: str = "eq"
+    rhs: int = 0
+    parity: bool = False
+
+    def to_dict(self) -> dict:
+        return {"affine": self.affine.to_dict(), "op": self.op,
+                "rhs": self.rhs, "parity": self.parity}
+
+    @staticmethod
+    def from_dict(d: dict) -> "Guard":
+        return Guard(affine=Affine.from_dict(d["affine"]), op=d["op"],
+                     rhs=int(d["rhs"]), parity=bool(d["parity"]))
+
+
+@dataclass
+class StoreStmt:
+    """``[if guard] array[subscript] = expr``."""
+
+    array: str
+    subscript: Subscript
+    expr: Expr
+    guard: Optional[Guard] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "store",
+            "array": self.array,
+            "subscript": self.subscript.to_dict(),
+            "expr": self.expr.to_dict(),
+            "guard": self.guard.to_dict() if self.guard else None,
+        }
+
+
+@dataclass
+class ReduceStmt:
+    """Loop-carried reduction over the innermost loop.
+
+    ``acc`` starts at ``init``, updates ``acc = acc <op> expr`` every
+    innermost iteration, and ``out_array[out_subscript]`` receives the
+    running value on the last innermost iteration (a conditional store —
+    the fake-token path, like the matmul kernels).
+    """
+
+    op: str
+    expr: Expr
+    out_array: str
+    out_subscript: Subscript
+    init: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "reduce",
+            "op": self.op,
+            "expr": self.expr.to_dict(),
+            "out_array": self.out_array,
+            "out_subscript": self.out_subscript.to_dict(),
+            "init": self.init,
+        }
+
+
+def _stmt_from_dict(d: dict):
+    if d["kind"] == "store":
+        return StoreStmt(
+            array=d["array"],
+            subscript=Subscript.from_dict(d["subscript"]),
+            expr=Expr.from_dict(d["expr"]),
+            guard=Guard.from_dict(d["guard"]) if d.get("guard") else None,
+        )
+    return ReduceStmt(
+        op=d["op"],
+        expr=Expr.from_dict(d["expr"]),
+        out_array=d["out_array"],
+        out_subscript=Subscript.from_dict(d["out_subscript"]),
+        init=int(d.get("init", 0)),
+    )
+
+
+@dataclass
+class LoopSpec:
+    """One counted loop ``for iv = 0; iv < bound; ++iv`` (bound >= 1)."""
+
+    iv: str
+    bound: int
+
+    def to_dict(self) -> dict:
+        return {"iv": self.iv, "bound": self.bound}
+
+
+@dataclass
+class NestSpec:
+    """One fully-nested loop nest: loops outer-to-inner, innermost stmts."""
+
+    tag: str
+    loops: List[LoopSpec]
+    stmts: List[object]  # StoreStmt | ReduceStmt
+
+    def to_dict(self) -> dict:
+        return {
+            "tag": self.tag,
+            "loops": [lp.to_dict() for lp in self.loops],
+            "stmts": [s.to_dict() for s in self.stmts],
+        }
+
+
+@dataclass
+class ArraySpec:
+    """One memory array: its size and (optional) deterministic init.
+
+    ``init_seed is None`` means zero-initialized (an output array).  The
+    init range also bounds the values any *indirect* subscript routed
+    through this array can take, which is what keeps data-dependent
+    addresses provably in bounds.
+    """
+
+    size: int
+    init_seed: Optional[int] = None
+    lo: int = 0
+    hi: int = 0
+
+    def to_dict(self) -> dict:
+        return {"size": self.size, "init_seed": self.init_seed,
+                "lo": self.lo, "hi": self.hi}
+
+    @staticmethod
+    def from_dict(d: dict) -> "ArraySpec":
+        seed = d.get("init_seed")
+        return ArraySpec(size=int(d["size"]),
+                         init_seed=None if seed is None else int(seed),
+                         lo=int(d.get("lo", 0)), hi=int(d.get("hi", 0)))
+
+
+@dataclass
+class KernelSpec:
+    """A complete fuzz kernel: arrays + sequential nests."""
+
+    name: str
+    arrays: Dict[str, ArraySpec]
+    nests: List[NestSpec]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "arrays": {n: a.to_dict() for n, a in self.arrays.items()},
+            "nests": [n.to_dict() for n in self.nests],
+        }
+
+
+def spec_from_dict(d: dict) -> KernelSpec:
+    return KernelSpec(
+        name=d["name"],
+        arrays={n: ArraySpec.from_dict(a) for n, a in d["arrays"].items()},
+        nests=[
+            NestSpec(
+                tag=n["tag"],
+                loops=[LoopSpec(iv=lp["iv"], bound=int(lp["bound"]))
+                       for lp in n["loops"]],
+                stmts=[_stmt_from_dict(s) for s in n["stmts"]],
+            )
+            for n in d["nests"]
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Static validation: every subscript provably in bounds
+# ----------------------------------------------------------------------
+def _affine_range(affine: Affine, bounds: Dict[str, int]) -> Tuple[int, int]:
+    """Value range of an affine over its loops (coeffs/const >= 0)."""
+    if affine.const < 0:
+        raise ValueError("affine const must be >= 0")
+    lo = hi = affine.const
+    for iv, coef in affine.coeffs.items():
+        if iv not in bounds:
+            raise ValueError(f"affine references unknown iv {iv!r}")
+        if coef < 0:
+            raise ValueError("affine coefficients must be >= 0")
+        hi += coef * (bounds[iv] - 1)
+    return lo, hi
+
+
+def _subscript_range(
+    sub: Subscript, bounds: Dict[str, int], arrays: Dict[str, ArraySpec]
+) -> Tuple[int, int]:
+    lo, hi = _affine_range(sub.affine, bounds)
+    if sub.indirect is None:
+        return lo + sub.offset, hi + sub.offset
+    idx = arrays.get(sub.indirect)
+    if idx is None:
+        raise ValueError(f"indirect through unknown array {sub.indirect!r}")
+    if hi >= idx.size:
+        raise ValueError(
+            f"indirect index range [{lo},{hi}] exceeds {sub.indirect!r}"
+            f" (size {idx.size})"
+        )
+    if idx.init_seed is None:
+        vlo = vhi = 0  # zero-initialized index array
+    else:
+        vlo, vhi = idx.lo, idx.hi
+    return vlo + sub.offset, vhi + sub.offset
+
+
+def _check_subscript(sub, bounds, arrays, array, where):
+    lo, hi = _subscript_range(sub, bounds, arrays)
+    size = arrays[array].size
+    if lo < 0 or hi >= size:
+        raise ValueError(
+            f"{where}: subscript range [{lo},{hi}] out of bounds for"
+            f" {array!r} (size {size})"
+        )
+
+
+def _walk_exprs(expr: Expr):
+    yield expr
+    if expr.kind == "bin":
+        yield from _walk_exprs(expr.lhs)
+        yield from _walk_exprs(expr.rhs)
+
+
+def validate_spec(spec: KernelSpec) -> None:
+    """Raise ``ValueError`` unless every access is statically in bounds.
+
+    Also enforces the grammar's structural rules (unique iv names, known
+    arrays, legal opcodes, positive bounds) so the shrinker can blindly
+    mutate specs and discard the invalid candidates.
+    """
+    if not spec.nests:
+        raise ValueError("spec has no nests")
+    seen_ivs: set = set()
+    for nest in spec.nests:
+        if not nest.loops:
+            raise ValueError(f"nest {nest.tag!r} has no loops")
+        if not nest.stmts:
+            raise ValueError(f"nest {nest.tag!r} has no statements")
+        for lp in nest.loops:
+            if lp.bound < 1:
+                raise ValueError(f"loop {lp.iv!r}: bound {lp.bound} < 1")
+            if lp.iv in seen_ivs:
+                raise ValueError(f"duplicate induction variable {lp.iv!r}")
+            seen_ivs.add(lp.iv)
+        bounds = {lp.iv: lp.bound for lp in nest.loops}
+        outer_bounds = {lp.iv: lp.bound for lp in nest.loops[:-1]}
+        for si, stmt in enumerate(nest.stmts):
+            where = f"{nest.tag}.stmt{si}"
+            if isinstance(stmt, StoreStmt):
+                if stmt.array not in spec.arrays:
+                    raise ValueError(f"{where}: unknown array {stmt.array!r}")
+                _check_subscript(stmt.subscript, bounds, spec.arrays,
+                                 stmt.array, where)
+                if stmt.guard is not None:
+                    if stmt.guard.op not in GUARD_OPS:
+                        raise ValueError(
+                            f"{where}: bad guard op {stmt.guard.op!r}")
+                    _affine_range(stmt.guard.affine, bounds)
+                exprs = list(_walk_exprs(stmt.expr))
+            elif isinstance(stmt, ReduceStmt):
+                if stmt.op not in REDUCE_OPS:
+                    raise ValueError(f"{where}: bad reduce op {stmt.op!r}")
+                if stmt.out_array not in spec.arrays:
+                    raise ValueError(
+                        f"{where}: unknown array {stmt.out_array!r}")
+                # The output subscript may only use outer ivs: the store
+                # fires once per outer iteration (on the last inner one).
+                _check_subscript(stmt.out_subscript, outer_bounds or bounds,
+                                 spec.arrays, stmt.out_array, where)
+                exprs = list(_walk_exprs(stmt.expr))
+            else:
+                raise ValueError(f"{where}: unknown statement {stmt!r}")
+            for expr in exprs:
+                if expr.kind == "acc" and not isinstance(stmt, ReduceStmt):
+                    raise ValueError(f"{where}: acc outside a reduction")
+                if expr.kind == "iv" and expr.name not in bounds:
+                    raise ValueError(f"{where}: unknown iv {expr.name!r}")
+                if expr.kind == "bin" and expr.op not in EXPR_OPS:
+                    raise ValueError(f"{where}: bad expr op {expr.op!r}")
+                if expr.kind == "load":
+                    if expr.array not in spec.arrays:
+                        raise ValueError(
+                            f"{where}: unknown array {expr.array!r}")
+                    _check_subscript(expr.subscript, bounds, spec.arrays,
+                                     expr.array, where)
+
+
+# ----------------------------------------------------------------------
+# Spec -> Kernel (IR + args + inputs)
+# ----------------------------------------------------------------------
+def _emit_affine(b: IRBuilder, affine: Affine, ivs: Dict[str, object]):
+    value = None
+    for iv, coef in sorted(affine.coeffs.items()):
+        if coef == 0:
+            continue
+        term = ivs[iv] if coef == 1 else b.mul(ivs[iv], coef)
+        value = term if value is None else b.add(value, term)
+    if value is None:
+        return b.const(affine.const)
+    if affine.const:
+        value = b.add(value, affine.const)
+    return value
+
+
+def _emit_subscript(b, sub: Subscript, ivs, decls):
+    idx = _emit_affine(b, sub.affine, ivs)
+    if sub.indirect is not None:
+        idx = b.load(decls[sub.indirect], idx)
+    if sub.offset:
+        idx = b.add(idx, sub.offset)
+    return idx
+
+
+def _emit_expr(b, expr: Expr, ivs, decls, acc=None):
+    if expr.kind == "const":
+        return b.const(expr.value)
+    if expr.kind == "iv":
+        return ivs[expr.name]
+    if expr.kind == "acc":
+        if acc is None:
+            raise ValueError("acc expression outside a reduction")
+        return acc
+    if expr.kind == "load":
+        return b.load(decls[expr.array],
+                      _emit_subscript(b, expr.subscript, ivs, decls))
+    lhs = _emit_expr(b, expr.lhs, ivs, decls, acc)
+    rhs = _emit_expr(b, expr.rhs, ivs, decls, acc)
+    return b.binary(expr.op, lhs, rhs)
+
+
+def _build_from_spec(spec: KernelSpec, kernel: Kernel) -> Function:
+    fn = Function(spec.name)
+    b = IRBuilder(fn)
+    bound_args = {}
+    for nest in spec.nests:
+        for lp in nest.loops:
+            bound_args[lp.iv] = b.arg(f"n_{lp.iv}")
+    decls = {
+        name: b.array(name, arr.size) for name, arr in spec.arrays.items()
+    }
+    b.at(b.block("entry"))
+    nb = NestBuilder(b)
+    for nest in spec.nests:
+        ivs: Dict[str, object] = {}
+        carried_specs = [
+            (si, stmt) for si, stmt in enumerate(nest.stmts)
+            if isinstance(stmt, ReduceStmt)
+        ]
+        loops = []
+        for li, lp in enumerate(nest.loops):
+            innermost = li == len(nest.loops) - 1
+            carried = (
+                {f"acc{si}": stmt.init for si, stmt in carried_specs}
+                if innermost else None
+            )
+            loop = nb.open_loop(lp.iv, bound_args[lp.iv], carried=carried)
+            ivs[lp.iv] = loop.iv
+            loops.append(loop)
+        inner = loops[-1]
+        inner_lp = nest.loops[-1]
+        updates: Dict[str, object] = {}
+        for si, stmt in enumerate(nest.stmts):
+            if isinstance(stmt, StoreStmt):
+                join = None
+                if stmt.guard is not None:
+                    g = stmt.guard
+                    lhs = _emit_affine(b, g.affine, ivs)
+                    if g.parity:
+                        lhs = b.and_(lhs, 1)
+                    cond = b.binary(g.op, lhs, g.rhs)
+                    _, _, join = nb.if_then(cond, f"{nest.tag}s{si}")
+                idx = _emit_subscript(b, stmt.subscript, ivs, decls)
+                value = _emit_expr(b, stmt.expr, ivs, decls)
+                b.store(decls[stmt.array], idx, value)
+                if join is not None:
+                    nb.end_then(join)
+            else:  # ReduceStmt
+                acc = inner.carried[f"acc{si}"]
+                value = _emit_expr(b, stmt.expr, ivs, decls, acc=acc)
+                nxt = b.binary(stmt.op, acc, value,
+                               name=f"{nest.tag}acc{si}n")
+                updates[f"acc{si}"] = nxt
+                is_last = b.eq(ivs[inner_lp.iv],
+                               b.sub(bound_args[inner_lp.iv], 1))
+                _, _, join = nb.if_then(is_last, f"{nest.tag}r{si}")
+                out_idx = _emit_subscript(b, stmt.out_subscript, ivs, decls)
+                b.store(decls[stmt.out_array], out_idx, nxt)
+                nb.end_then(join)
+        for li in range(len(nest.loops) - 1, -1, -1):
+            nb.close_loop(updates if li == len(nest.loops) - 1 else None)
+    b.ret()
+    return fn
+
+
+def spec_to_kernel(spec: KernelSpec) -> Kernel:
+    """Materialize a spec as a :class:`repro.kernels.Kernel`.
+
+    Loop bounds become function arguments (``n_<iv>``), matching how the
+    seed kernels pass compile-time sizes; array inputs come from the same
+    :func:`~repro.kernels.base.lcg_values` LCG the seed kernels use, so
+    a spec fully determines its golden run on every platform.
+    """
+    validate_spec(spec)
+    args = {
+        f"n_{lp.iv}": lp.bound
+        for nest in spec.nests for lp in nest.loops
+    }
+    memory_init = {
+        name: lcg_values(arr.size, seed=arr.init_seed, lo=arr.lo, hi=arr.hi)
+        for name, arr in spec.arrays.items()
+        if arr.init_seed is not None
+    }
+    return Kernel(
+        name=spec.name,
+        description="PVFuzz generated kernel",
+        builder=lambda kernel, _spec=spec: _build_from_spec(_spec, kernel),
+        args=args,
+        memory_init=memory_init,
+        paper_reference="repro.fuzz differential harness",
+    )
+
+
+def instruction_count(spec: KernelSpec) -> int:
+    """Number of IR instructions (phis included) the spec builds to."""
+    fn = spec_to_kernel(spec).build_ir()
+    return sum(len(bb.phis) + len(bb.instructions) for bb in fn.blocks)

@@ -59,9 +59,21 @@ _REGISTRY: Dict[str, Callable[[], Kernel]] = {}
 
 
 def register_kernel(name: str):
-    """Decorator: register a zero-arg kernel factory under ``name``."""
+    """Decorator: register a zero-arg kernel factory under ``name``.
+
+    Names are a global namespace shared by the eval tables, the perf
+    baselines and the CLI — silently shadowing an existing entry would
+    redefine what every ``get_kernel`` caller means by that name, so a
+    duplicate registration is an error.  Generated kernels (the fuzzer)
+    avoid the clash by construction with a reserved ``fuzz_`` prefix.
+    """
 
     def deco(factory: Callable[[], Kernel]):
+        if name in _REGISTRY:
+            raise ValueError(
+                f"kernel {name!r} is already registered; pick a unique "
+                f"name (generated kernels belong under 'fuzz_...')"
+            )
         _REGISTRY[name] = factory
         return factory
 

@@ -122,11 +122,20 @@ class MemoryController(Component):
     def propagate(self) -> None:
         if self._ld_addr_chs is None:
             self._bind()
-        for i in self._granted_loads():
-            self._ld_addr_chs[i].ready = True
-        for j in self._granted_stores():
-            self._st_addr_chs[j].ready = True
-            self._st_data_chs[j].ready = True
+        # Drive the grant readies as an exact assignment (set AND clear):
+        # under the reference engine's fixpoint this method re-runs as
+        # input valids arrive, and a port granted against a partial valid
+        # set may lose arbitration to a higher-priority port once every
+        # valid has settled.  Leaving the earlier ready latched would
+        # accept more than *_per_cycle requests in one cycle.
+        granted_loads = self._granted_loads()
+        for i in range(self.n_loads):
+            self._ld_addr_chs[i].ready = i in granted_loads
+        granted_stores = self._granted_stores()
+        for j in range(self.n_stores):
+            grant = j in granted_stores
+            self._st_addr_chs[j].ready = grant
+            self._st_data_chs[j].ready = grant
         data_chs = self._ld_data_chs
         for i in range(self.n_loads):
             queue = self._responses[i]

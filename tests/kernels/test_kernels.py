@@ -27,6 +27,15 @@ class TestRegistry:
         assert a == b
         assert all(2 <= v <= 7 for v in a)
 
+    def test_duplicate_registration_raises(self):
+        from repro.kernels.base import register_kernel
+
+        taken = kernel_names()[0]
+        with pytest.raises(ValueError, match="already registered"):
+            register_kernel(taken)(lambda: None)
+        # the rejected factory must not have clobbered the original
+        assert get_kernel(taken).name == taken
+
 
 class TestIRWellFormed:
     @pytest.mark.parametrize("name", sorted({*PAPER_KERNELS, "vadd",
