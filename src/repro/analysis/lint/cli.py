@@ -1,12 +1,15 @@
 """Command-line front end: ``python -m repro.lint <kernel> [options]``.
 
-Runs the full five-layer analysis over one registered kernel (or every
+Runs the full six-layer analysis over one registered kernel (or every
 kernel with ``all``) under a chosen hardware configuration and prints
 the report.  With ``--sanitize`` it additionally simulates the kernel
 under the PVSan sequential-consistency oracle and merges the dynamic
 findings into the same report; with ``--perf`` it simulates the kernel
 once and arms the PV404 static-vs-measured divergence check of the
-PVPerf layer.
+PVPerf layer; with ``--occupancy`` it simulates once more under the
+peak-occupancy sampler and arms the PV504 divergence check of the
+PVBound layer.  ``--layer`` restricts the run to named layers (for
+example ``--layer occupancy``).
 
 Exit codes (stable; CI keys off them):
 
@@ -28,7 +31,7 @@ from ...config import MEMORY_STYLES, HardwareConfig
 from ...kernels import kernel_names
 from .diagnostics import CODES, LintReport, Severity
 from .driver import lint_kernel
-from .registry import all_passes
+from .registry import LAYERS, all_passes
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -70,6 +73,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also simulate the kernel, pair the PVPerf static bounds "
         "with their measured counterparts and arm the PV404 "
         "divergence check",
+    )
+    parser.add_argument(
+        "--occupancy",
+        action="store_true",
+        help="also simulate the kernel under the peak-occupancy "
+        "sampler, pair the PVBound static bounds with the measured "
+        "peaks and arm the PV504 divergence check",
+    )
+    parser.add_argument(
+        "--layer",
+        dest="layers",
+        action="append",
+        metavar="NAME",
+        help="run only the named lint layer (repeatable; default: all "
+        f"layers — {', '.join(LAYERS)})",
     )
     parser.add_argument(
         "--timings",
@@ -155,8 +173,6 @@ def _list_all() -> str:
     Sorted by (layer order, name) so the listing is stable however the
     pass modules happened to register.
     """
-    from .registry import LAYERS
-
     order = {layer: i for i, layer in enumerate(LAYERS)}
     lines = ["pass                            layer     severity  summary"]
     for pass_cls in sorted(
@@ -179,14 +195,24 @@ def _exit_code(reports: List[LintReport]) -> int:
 
 
 def _emit_jsonl(
-    reports: List[LintReport], min_severity: Severity
+    reports: List[LintReport],
+    min_severity: Severity,
+    armed_layers: Optional[List[str]] = None,
 ) -> None:
     """One JSON object per diagnostic — greppable, CI-artifact friendly.
 
-    Records are sorted by (subject, code, location, message, pass) so
-    two runs over the same kernels diff cleanly even if pass execution
-    order ever changes.
+    The first line is a run-metadata object carrying the armed-layer
+    set (``{"meta": "lint-run", "armed_layers": [...]}``), so a
+    consumer can tell "no PV5xx findings" apart from "occupancy layer
+    never ran".  Diagnostic records follow, sorted by (subject, code,
+    location, message, pass) so two runs over the same kernels diff
+    cleanly even if pass execution order ever changes.
     """
+    if armed_layers is not None:
+        print(json.dumps(
+            {"meta": "lint-run", "armed_layers": list(armed_layers)},
+            sort_keys=True,
+        ))
     records = []
     for report in reports:
         for diag in report.diagnostics:
@@ -225,6 +251,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     config = HardwareConfig(**overrides)
     names = kernel_names() if ns.kernel == "all" else [ns.kernel]
     min_severity = Severity.parse(ns.min_severity)
+    layers = None
+    if ns.layers:
+        for layer in ns.layers:
+            if layer not in LAYERS:
+                parser.error(
+                    f"unknown lint layer {layer!r}; choose from "
+                    f"{', '.join(LAYERS)}"
+                )
+        # keep driver order, drop duplicates
+        layers = [l for l in LAYERS if l in ns.layers]
 
     reports = []
     for name in names:
@@ -239,8 +275,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             except KeyError as exc:
                 print(f"error: {exc.args[0]}", file=sys.stderr)
                 return 1
+        kwargs = {"measured": measured}
+        if ns.occupancy:
+            from ..occupancy import measure_kernel as measure_occupancy
+
+            try:
+                _, kwargs["occupancy_measured"] = measure_occupancy(
+                    name, config, max_cycles=ns.max_cycles
+                )
+            except KeyError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 1
+        if layers is not None:
+            kwargs["layers"] = layers
         try:
-            report = lint_kernel(name, config, measured=measured)
+            report = lint_kernel(name, config, **kwargs)
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 1
@@ -262,7 +311,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if ns.json:
         print(json.dumps([r.to_dict() for r in reports], indent=2))
     elif ns.fmt == "json":
-        _emit_jsonl(reports, min_severity)
+        _emit_jsonl(
+            reports, min_severity,
+            armed_layers=list(layers) if layers is not None else list(LAYERS),
+        )
     else:
         for report in reports:
             print(report.format(min_severity=min_severity))

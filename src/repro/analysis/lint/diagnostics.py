@@ -100,6 +100,11 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "PV402": (Severity.WARNING, "validation bandwidth bounds the loop II"),
     "PV403": (Severity.WARNING, "premature-queue depth below the proven distance window"),
     "PV404": (Severity.ERROR, "static II bound exceeds the measured steady state"),
+    # --- PVBound occupancy layer (PV5xx) -------------------------------
+    "PV501": (Severity.ERROR, "occupancy exceeds a place's structural capacity"),
+    "PV502": (Severity.ERROR, "premature-queue physical-slack overflow reachable"),
+    "PV503": (Severity.ERROR, "retirement-stall cycle leaves entries unretired"),
+    "PV504": (Severity.ERROR, "static occupancy bound below the measured peak"),
 }
 
 

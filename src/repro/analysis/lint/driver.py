@@ -32,6 +32,7 @@ from . import circuit_passes  # noqa: F401
 from . import prevv_passes  # noqa: F401
 from . import sanitizer_passes  # noqa: F401
 from . import perf_passes  # noqa: F401
+from . import occupancy_passes  # noqa: F401
 
 
 def run_passes(
@@ -109,29 +110,51 @@ def lint_build(
 
 
 def lint_kernel(
-    name: str, config: HardwareConfig, measured=None
+    name: str,
+    config: HardwareConfig,
+    measured=None,
+    occupancy_measured=None,
+    layers: Optional[Sequence[str]] = None,
 ) -> LintReport:
     """Compile a registered kernel under ``config`` and lint every layer.
 
     When the IR layer reports errors the kernel is not compiled — the
     report carries the IR diagnostics only.  Otherwise the circuit is
     built exactly as ``run_pipeline`` would build it and the circuit,
-    PreVV, sanitize and perf layers run over the result.  ``measured``
-    (a :class:`~repro.analysis.perf.measure.PerfMeasurement`) arms the
-    PV404 static-vs-measured divergence check.
+    PreVV, sanitize, perf and occupancy layers run over the result.
+    ``measured`` (a :class:`~repro.analysis.perf.measure.
+    PerfMeasurement`) arms the PV404 static-vs-measured divergence
+    check; ``occupancy_measured`` (an :class:`~repro.analysis.occupancy.
+    measure.OccupancyMeasurement`) arms PV504 the same way.  ``layers``
+    restricts the run to a subset of :data:`LAYERS` (the IR layer still
+    gates compilation — broken IR never reaches a post-build layer).
     """
     from ...compile.elastic import compile_function
     from ...errors import CompileError
     from ...kernels import get_kernel
 
+    selected = tuple(LAYERS) if layers is None else tuple(layers)
+    for layer in selected:
+        if layer not in LAYERS:
+            raise ValueError(
+                f"unknown lint layer {layer!r}; choose from {LAYERS}"
+            )
     kernel = get_kernel(name)
     fn = kernel.build_ir()
     report = LintReport(subject=f"{name}[{config.memory_style}]")
     ctx = LintContext(
-        fn=fn, config=config, report=report, kernel=kernel, measured=measured
+        fn=fn,
+        config=config,
+        report=report,
+        kernel=kernel,
+        measured=measured,
+        occupancy_measured=occupancy_measured,
     )
-    run_passes(ctx, layers=("ir",))
+    run_passes(ctx, layers=("ir",) if "ir" in selected else ())
     if not report.ok:
+        return report
+    post_ir = tuple(l for l in selected if l != "ir")
+    if not post_ir:
         return report
     try:
         build = compile_function(fn, config, args=kernel.args)
@@ -139,11 +162,13 @@ def lint_kernel(
         # The builder rejected the configuration outright (e.g. ambiguous
         # pairs under memory_style='none').  The PreVV-layer passes can
         # explain *why* without a circuit; re-raise if they cannot.
-        run_passes(ctx, layers=("prevv", "sanitize"))
+        run_passes(
+            ctx, layers=tuple(l for l in ("prevv", "sanitize") if l in post_ir)
+        )
         if report.ok:
             raise
         return report
     ctx.circuit = build.circuit
     ctx.build = build
     ctx._analysis = build.analysis
-    return run_passes(ctx, layers=("circuit", "prevv", "sanitize", "perf"))
+    return run_passes(ctx, layers=post_ir)

@@ -1,0 +1,162 @@
+"""PVBound occupancy-layer lint passes (PV5xx).
+
+Three passes over the static occupancy prover of
+:mod:`repro.analysis.occupancy`:
+
+* :class:`OccupancyBoundsPass` — PV501 when a place's derived occupancy
+  bound exceeds its structural capacity (the model says the hardware
+  can be asked to hold more than it has room for), and PV502 when a
+  premature queue's policy-model bound reaches past its physical slack
+  (the :class:`~repro.errors.QueueOverflowError` crash class is
+  statically reachable).
+* :class:`OccupancyLivenessPass` — PV503 when the acceptance-policy
+  transition model contains a retirement-stall cycle: an accepted
+  premature entry that no transition can ever retire or squash.
+* :class:`OccupancyDivergencePass` — PV504, only with a supplied
+  :class:`~repro.analysis.occupancy.measure.OccupancyMeasurement`:
+  every measured peak must stay at or below its static bound (and
+  every observed physical overflow inside the predicted-overflow set).
+  A violation is a soundness bug in the *transfer function*, hence an
+  error — same contract as PV404.  Measured capacity violations also
+  surface here as PV501: the place model claimed room the run disproved.
+
+The static passes are errors, not warnings: an overflow-reachable or
+stall-prone circuit crashes or hangs, it does not merely run slowly.
+"""
+
+from __future__ import annotations
+
+from .registry import LintContext, LintPass, register_pass
+
+
+def _prediction(ctx: LintContext):
+    """OccupancyPrediction, computed once per run and cached on the ctx."""
+    if "occupancy_prediction" not in ctx.cache:
+        from ..occupancy import analyze_build
+
+        args = dict(ctx.kernel.args) if ctx.kernel is not None else {}
+        ctx.cache["occupancy_prediction"] = analyze_build(
+            ctx.build, ctx.fn, args
+        )
+    return ctx.cache["occupancy_prediction"]
+
+
+@register_pass
+class OccupancyBoundsPass(LintPass):
+    """PV501/PV502: a derived bound exceeds a capacity or the slack."""
+
+    name = "occupancy-bounds"
+    layer = "occupancy"
+    codes = ("PV501", "PV502")
+    requires = ("fn", "build")
+
+    def run(self, ctx: LintContext) -> None:
+        if ctx.has_ir_errors:
+            return
+        pred = _prediction(ctx)
+        for name in sorted(pred.bounds):
+            place = pred.graph.places[name]
+            bound = pred.bounds[name]
+            if place.kind == "queue":
+                continue  # the policy model's claims speak below
+            if place.capacity is None:
+                continue
+            if bound is None or bound > place.capacity:
+                claim = "no finite bound" if bound is None else f"bound {bound}"
+                ctx.emit(
+                    "PV501",
+                    f"{place.kind} {name} holds {place.capacity} token(s) "
+                    f"but the flow model derives {claim}",
+                    location=f"circuit:{place.subject}",
+                    hint="the producer is not backpressured by this place "
+                    "in the model; check the place graph's capacities "
+                    "against perf_model",
+                )
+        for claim in pred.claims:
+            if not claim.overflow_reachable:
+                continue
+            bound = (
+                "no finite bound"
+                if claim.bound is None
+                else f"occupancy {claim.bound}"
+            )
+            ctx.emit(
+                "PV502",
+                f"unit {claim.unit}: {bound} reachable but the premature "
+                f"queue holds {claim.physical_depth} physical slot(s) "
+                f"(architectural depth {claim.depth}) — {claim.detail}",
+                location=f"circuit:{claim.unit}",
+                hint="a full-queue escape admission is not bounded by the "
+                "physical slack; gate every escape on a physical-slot "
+                "reservation",
+            )
+
+
+@register_pass
+class OccupancyLivenessPass(LintPass):
+    """PV503: the abstract transition graph has a retirement-stall cycle."""
+
+    name = "occupancy-liveness"
+    layer = "occupancy"
+    codes = ("PV503",)
+    requires = ("fn", "build")
+
+    def run(self, ctx: LintContext) -> None:
+        if ctx.has_ir_errors or not ctx.build.units:
+            return
+        for stall in _prediction(ctx).stalls:
+            ctx.emit(
+                "PV503",
+                f"unit {stall.unit}: {stall.detail}",
+                location=f"circuit:{stall.unit}",
+                hint="retirement must make progress under every blocked "
+                "head; release the version bound (or stall premature "
+                "acceptance) on cross-phase handoff",
+            )
+
+
+@register_pass
+class OccupancyDivergencePass(LintPass):
+    """PV504: a measured peak escaped its static occupancy bound."""
+
+    name = "occupancy-divergence"
+    layer = "occupancy"
+    codes = ("PV501", "PV504")
+    requires = ("fn", "build", "occupancy_measured")
+
+    def run(self, ctx: LintContext) -> None:
+        if ctx.has_ir_errors:
+            return
+        from ..occupancy import compare
+
+        for rec in compare(_prediction(ctx), ctx.occupancy_measured):
+            if rec.ok:
+                continue
+            if rec.kind == "capacity":
+                ctx.emit(
+                    "PV501",
+                    f"place {rec.subject} claims capacity {rec.static} but "
+                    f"the run held {rec.measured} token(s) simultaneously",
+                    location=f"measured:{rec.subject}",
+                    hint="the hardware model under-states this place's "
+                    "storage; fix the place graph, never the measurement",
+                )
+                continue
+            claim = (
+                f"bound {rec.static}"
+                if rec.static is not None
+                else "an overflow-free run"
+            )
+            measured = (
+                f"peak {rec.measured}"
+                if rec.kind == "bound"
+                else "a physical overflow"
+            )
+            ctx.emit(
+                "PV504",
+                f"{rec.subject}: static model claims {claim} but the run "
+                f"measured {measured} ({rec.note})",
+                location=f"measured:{rec.subject}",
+                hint="the occupancy transfer function missed a transition "
+                "(phase handoff?); fix the model, never the measurement",
+            )

@@ -18,7 +18,7 @@ from ...ir.loops import Loop, dominators, find_loops
 from .diagnostics import Diagnostic, LintReport, Severity, make_diagnostic
 
 #: analysis layers in the order the driver runs them.
-LAYERS = ("ir", "circuit", "prevv", "sanitize", "perf")
+LAYERS = ("ir", "circuit", "prevv", "sanitize", "perf", "occupancy")
 
 
 class LintContext:
@@ -40,6 +40,7 @@ class LintContext:
         report: Optional[LintReport] = None,
         kernel=None,
         measured=None,
+        occupancy_measured=None,
     ):
         self.fn = fn
         self.circuit = circuit
@@ -52,6 +53,10 @@ class LintContext:
         #: simulated run, when the caller supplied one; gates the PV404
         #: static-vs-measured divergence pass.
         self.measured = measured
+        #: :class:`~repro.analysis.occupancy.measure.OccupancyMeasurement`
+        #: of a simulated run, when the caller supplied one; gates the
+        #: PV504 occupancy-divergence pass.
+        self.occupancy_measured = occupancy_measured
         #: scratch space shared across passes of one run (e.g. the prover's
         #: proofs, reused by the soundness cross-check).
         self.cache: Dict = {}

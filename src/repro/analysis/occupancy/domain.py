@@ -1,0 +1,144 @@
+"""Interval domain over token counts, plus static trip budgets.
+
+PVBound's abstract state maps every *place* (somewhere a token can rest:
+a channel, a buffer slot, a controller response queue, an arbiter
+reorder buffer, the premature queue) to an :class:`Interval` ``[lo, hi]``
+of simultaneous occupancies.  ``hi=None`` is the domain's top element —
+"no finite bound derived" — which the interpreter reaches through
+widening on back-edges and then tries to refine away with a structural
+capacity or an injection budget.
+
+:class:`TripBudgets` supplies those injection budgets: the loop-bound
+interval analysis of the sanitizer (:mod:`repro.analysis.sanitizer.
+intervals`) recovers per-loop trip counts for the canonical counted-loop
+shape, and the product over a loop's ancestor chain bounds how many
+times the loop body — hence any memory port fed from it — can ever
+fire.  Squash/replay cannot inflate a *simultaneous* occupancy past the
+budget: a flush purges the squashed generation's tokens before the
+replay re-issues them, so live tokens always belong to distinct
+iterations of the current generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ...ir.function import Function
+from ...ir.loops import Loop, find_loops, innermost_loop_of
+from ..sanitizer.intervals import derive_iv_bounds
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Occupancy interval ``[lo, hi]``; ``hi=None`` means unbounded (top)."""
+
+    lo: int = 0
+    hi: Optional[int] = 0
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.hi is not None
+
+    def join(self, other: "Interval") -> "Interval":
+        hi = (
+            None
+            if self.hi is None or other.hi is None
+            else max(self.hi, other.hi)
+        )
+        return Interval(min(self.lo, other.lo), hi)
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Standard interval widening: a growing upper bound jumps to top."""
+        lo = self.lo if newer.lo >= self.lo else min(self.lo, newer.lo)
+        if self.hi is None or newer.hi is None:
+            return Interval(lo, None)
+        return Interval(lo, self.hi if newer.hi <= self.hi else None)
+
+    def grow(self, amount: Optional[int]) -> "Interval":
+        """Upper bound after up to ``amount`` more tokens arrive."""
+        if self.hi is None or amount is None:
+            return Interval(self.lo, None)
+        return Interval(self.lo, self.hi + amount)
+
+    def clamp(self, cap: Optional[int]) -> "Interval":
+        """Refine top (or an over-estimate) with a sound external bound."""
+        if cap is None:
+            return self
+        if self.hi is None or self.hi > cap:
+            return Interval(self.lo, cap)
+        return self
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        top = "inf" if self.hi is None else str(self.hi)
+        return f"[{self.lo}, {top}]"
+
+
+def min_bound(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    """Minimum of two upper bounds where ``None`` is +infinity."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+class TripBudgets:
+    """Static per-loop body-activation budgets of one compiled kernel.
+
+    ``for_block`` answers "how many times can an instruction in this
+    block execute (per squash generation)" — the product of the trip
+    counts along the innermost loop's ancestor chain.  Loops whose
+    bounds do not fold to integers yield ``None`` (unbounded), never a
+    guess.
+    """
+
+    def __init__(self, fn: Function, args: Dict[str, int]):
+        self.fn = fn
+        self._loops = find_loops(fn)
+        self._iv = derive_iv_bounds(fn, args or {})
+        self._loop_trips: Dict[int, Optional[int]] = {}
+        for loop in self._loops:
+            counts = [
+                b.count
+                for phi, b in self._iv.items()
+                if phi in loop.header.phis
+            ]
+            # Every bounded phi of one header describes the same counted
+            # loop; the max keeps the budget an upper bound if they ever
+            # disagree.
+            self._loop_trips[id(loop)] = max(counts) if counts else None
+
+    def trips(self, loop: Loop) -> Optional[int]:
+        """Trip count of one loop level, ``None`` when unresolvable."""
+        return self._loop_trips.get(id(loop))
+
+    def activations(self, loop: Optional[Loop]) -> Optional[int]:
+        """Body activations of ``loop``: product over its ancestor chain."""
+        if loop is None:
+            return 1  # straight-line code: executes once
+        total = 1
+        cur: Optional[Loop] = loop
+        while cur is not None:
+            trips = self.trips(cur)
+            if trips is None:
+                return None
+            total *= trips
+            cur = cur.parent
+        return total
+
+    def for_block(self, block) -> Optional[int]:
+        return self.activations(innermost_loop_of(self._loops, block))
+
+    @property
+    def total(self) -> Optional[int]:
+        """Whole-program activation budget (sum over innermost bodies)."""
+        total = 0
+        for loop in self._loops:
+            if loop.children:
+                continue  # counted through the innermost level
+            acts = self.activations(loop)
+            if acts is None:
+                return None
+            total += acts
+        return total

@@ -1,0 +1,115 @@
+"""Abstract token-flow interpreter over the place graph.
+
+A classic worklist fixpoint on the interval domain: every place starts
+at ``[0, 0]``; a source injection or an inflow from a predecessor grows
+the upper bound; retreating edges (found by depth-first search over the
+flow graph — token loops through loop-carried dependences and the
+squash/replay paths) are widened so the fixpoint terminates, and a
+per-place update budget backstops widening against graphs the DFS
+classification misses.
+
+Widening alone would leave every place on a cycle at top; soundness of
+the *refinement* step is what makes the result useful:
+
+* a place with structural capacity ``c`` and elastic backpressure can
+  never hold more than ``c`` tokens — the producer's push is gated on
+  ``ready`` (``Interval.clamp(capacity)``);
+* a place with injection budget ``b`` can never *simultaneously* hold
+  more than ``b`` tokens: the budget counts distinct loop-body
+  activations of the feeding port, and a squash flush purges the
+  squashed generation's tokens before replay re-issues them, so live
+  tokens always belong to distinct iterations of the current
+  generation (``Interval.clamp(budget)``).
+
+Premature-queue places are *not* refined here — their capacity is
+physical, not backpressured, and their sound bound comes from the
+policy model (:mod:`.queue_model`); the interpreter only reports
+whether tokens reach them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .domain import Interval, min_bound
+from .places import PlaceGraph
+
+#: Per-place update budget before forcing top; a backstop, not the main
+#: termination argument (that is DFS back-edge widening).
+_MAX_UPDATES = 64
+
+
+def _back_edges(graph: PlaceGraph) -> "set[tuple[str, str]]":
+    """Retreating edges of the flow graph via iterative DFS."""
+    back: set = set()
+    color: Dict[str, int] = {}  # 0 absent / 1 on stack / 2 done
+    for root in list(graph.places):
+        if color.get(root):
+            continue
+        stack: List[tuple] = [(root, iter(graph.edges.get(root, ())))]
+        color[root] = 1
+        while stack:
+            node, succs = stack[-1]
+            advanced = False
+            for nxt in succs:
+                if color.get(nxt) == 1:
+                    back.add((node, nxt))
+                elif not color.get(nxt):
+                    color[nxt] = 1
+                    stack.append((nxt, iter(graph.edges.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = 2
+                stack.pop()
+    return back
+
+
+def solve(graph: PlaceGraph) -> Dict[str, Interval]:
+    """Fixpoint occupancy interval per place, post-refinement."""
+    state: Dict[str, Interval] = {
+        name: Interval(0, 0) for name in graph.places
+    }
+    back = _back_edges(graph)
+    updates: Dict[str, int] = {name: 0 for name in graph.places}
+
+    worklist: List[str] = []
+    for src in graph.sources:
+        if src in state:
+            state[src] = Interval(0, None)  # control tokens re-inject
+            worklist.append(src)
+
+    while worklist:
+        name = worklist.pop()
+        cur = state[name]
+        for succ in graph.edges.get(name, ()):  # inflow: every token
+            old = state[succ]                    # resting here may move on
+            new = old.join(old.grow(cur.hi))
+            if (name, succ) in back:
+                new = old.widen(new)
+            updates[succ] += 1
+            if updates[succ] > _MAX_UPDATES:
+                new = Interval(new.lo, None)
+            if new != old:
+                state[succ] = new
+                worklist.append(succ)
+
+    refined: Dict[str, Interval] = {}
+    for name, interval in state.items():
+        place = graph.places[name]
+        if place.kind == "queue":
+            refined[name] = interval  # bounded by the policy model instead
+            continue
+        cap = min_bound(place.capacity, place.budget)
+        refined[name] = interval.clamp(cap)
+    return refined
+
+
+def static_bound(
+    graph: PlaceGraph, state: Dict[str, Interval], name: str
+) -> Optional[int]:
+    """The claimed occupancy bound for one place (None = unbounded)."""
+    interval = state.get(name)
+    if interval is None:
+        return None
+    return interval.hi

@@ -1,0 +1,268 @@
+"""Place-graph extraction: where can a token rest, and how do they flow.
+
+PVBound abstracts the elastic circuit into *places* — discrete token
+stores — connected by flow edges:
+
+* every **channel** is a place of capacity 1 (one offered token);
+* every **buffer** (OEHB/TEHB/Fifo/TransparentFifo) is a place with the
+  capacity its ``perf_model`` declares, elastically backpressured;
+* every **memory-controller load port** owns a response-queue place
+  with *no* structural capacity — the controller keeps granting while
+  the consumer stalls, which is exactly why it needs a derived bound;
+* every **PreVV unit port** owns a reorder-buffer place capped at the
+  acceptance window, and the unit's **premature queue** is a place whose
+  physical capacity is real (pushing past it is the
+  :class:`~repro.errors.QueueOverflowError` crash class) but whose
+  architectural backpressure has liveness escapes — its bound comes from
+  the policy transition model in :mod:`.queue_model`, not from the
+  generic interpreter;
+* every **LSQ** contributes its load and store queue places (allocation
+  is backpressured at group granularity).
+
+Components that merely transform tokens (arithmetic, forks, merges,
+gates) hold nothing across cycles beyond their output channel, so they
+contribute edges but no places.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...ir.instructions import LoadInst, StoreInst
+from ...lsq.lsq import LoadStoreQueue
+from ...memory.controller import MemoryController
+from ...prevv.unit import PreVVUnit
+from .domain import TripBudgets, min_bound
+from .queue_model import PortModel, UnitModel
+
+
+@dataclass
+class Place:
+    """One token store.  Mutable on purpose: the mutation tests sabotage
+    capacities to prove the measured cross-check has teeth."""
+
+    name: str
+    kind: str               # channel | buffer | mc_response | unit_pending
+    #                       # | queue | lsq
+    subject: str            # owning component / channel
+    capacity: Optional[int]  # structural cap (None = structurally unbounded)
+    budget: Optional[int]    # injection budget (None = no static budget)
+
+
+@dataclass
+class PlaceGraph:
+    places: Dict[str, Place] = field(default_factory=dict)
+    #: token-flow successors, place name -> place names
+    edges: Dict[str, List[str]] = field(default_factory=dict)
+    #: places injected by source components (token creators)
+    sources: List[str] = field(default_factory=list)
+    #: per-unit detail for the premature-queue policy model
+    units: List[UnitModel] = field(default_factory=list)
+
+    def add(self, place: Place) -> Place:
+        self.places[place.name] = place
+        self.edges.setdefault(place.name, [])
+        return place
+
+    def connect(self, src: str, dst: str) -> None:
+        if src in self.places and dst in self.places:
+            succ = self.edges.setdefault(src, [])
+            if dst not in succ:
+                succ.append(dst)
+
+
+def _ch_place(ch) -> Optional[str]:
+    """Place name of a channel, or None for a stand-in object.
+
+    Hand-built lint-test circuits wire ports to bare sentinels; those
+    carry no tokens the model could bound, so they contribute nothing.
+    """
+    name = getattr(ch, "name", None)
+    return f"ch:{name}" if isinstance(name, str) else None
+
+
+def _lsq_budgets(fn, budgets: TripBudgets):
+    """Per-array (loads, stores) injection budgets, op-weighted.
+
+    Summed over *instructions*, not loop bodies: a body with two loads
+    of one array injects two LSQ entries per activation.
+    """
+    per_array: Dict[str, List[Optional[int]]] = {}
+    for block in fn.blocks:
+        acts = budgets.for_block(block)
+        for op in block.memory_ops():
+            if isinstance(op, LoadInst):
+                kind = 0
+            elif isinstance(op, StoreInst):
+                kind = 1
+            else:  # pragma: no cover - memory_ops yields only loads/stores
+                continue
+            sides = per_array.setdefault(op.array.name, [0, 0])
+            if sides[kind] is not None:
+                sides[kind] = None if acts is None else sides[kind] + acts
+    return per_array
+
+
+def _is_buffer(comp) -> bool:
+    """A component holding tokens across cycles with a bounded capacity."""
+    if isinstance(comp, (MemoryController, PreVVUnit, LoadStoreQueue)):
+        return False
+    if getattr(type(comp), "occupancy", None) is None:
+        return False
+    _, capacity = comp.perf_model()
+    return capacity is not None
+
+
+def _port_activations(build, fn, budgets: TripBudgets):
+    """Per (unit, port index) activation budget, and per MC load port.
+
+    ``build.units[i]`` serves ``build.groups[i]`` and the unit's ports
+    are the group's operations in program order — the same construction
+    order the builder used — so port ``k`` maps back to the IR
+    instruction whose block gives the trip budget.
+    """
+    order = {id(op): k for k, op in enumerate(fn.memory_ops())}
+    per_unit: Dict[Tuple[str, int], Optional[int]] = {}
+    per_mc_port: Dict[Tuple[str, str, int], Optional[int]] = {}
+    for unit, group in zip(build.units, build.groups):
+        ops = sorted(group.loads + group.stores, key=lambda o: order[id(o)])
+        for k, op in enumerate(ops):
+            block = next(b for b in fn.blocks if op in b.instructions)
+            acts = budgets.for_block(block)
+            per_unit[(unit.name, k)] = acts
+            link = unit._mc_link[k]
+            if link is not None:
+                mc, kind, mc_port = link
+                per_mc_port[(mc.name, kind, mc_port)] = acts
+    return per_unit, per_mc_port
+
+
+def extract_places(build, fn, args: Optional[Dict[str, int]] = None) -> PlaceGraph:
+    """Abstract ``build``'s circuit into a :class:`PlaceGraph`."""
+    budgets = TripBudgets(fn, args or {})
+    graph = PlaceGraph()
+    circuit = build.circuit
+
+    for ch in circuit.channels:
+        graph.add(Place(f"ch:{ch.name}", "channel", ch.name, 1, None))
+
+    per_unit_acts, per_mc_acts = _port_activations(build, fn, budgets)
+    lsq_budgets = _lsq_budgets(fn, budgets)
+    total = budgets.total
+
+    for comp in circuit.components:
+        in_chs = [(port, ch) for port, ch in comp.inputs.items()]
+        out_chs = [(port, ch) for port, ch in comp.outputs.items()]
+
+        if isinstance(comp, MemoryController):
+            for i in range(comp.n_loads):
+                acts = per_mc_acts.get((comp.name, "load", i), total)
+                place = graph.add(Place(
+                    f"mcresp:{comp.name}:{i}", "mc_response", comp.name,
+                    None, acts,
+                ))
+                addr = _ch_place(comp.inputs.get(f"ld{i}_addr"))
+                data = _ch_place(comp.outputs.get(f"ld{i}_data"))
+                if addr is not None:
+                    graph.connect(addr, place.name)
+                if data is not None:
+                    graph.connect(place.name, data)
+            continue  # store tokens die in the RAM
+
+        if isinstance(comp, PreVVUnit):
+            queue = graph.add(Place(
+                f"queue:{comp.name}", "queue", comp.name,
+                comp.queue.physical_depth, None,
+            ))
+            for i in range(len(comp.ports)):
+                acts = per_unit_acts.get((comp.name, i))
+                place = graph.add(Place(
+                    f"pending:{comp.name}:{i}", "unit_pending", comp.name,
+                    comp.reorder_window,
+                    min_bound(comp.reorder_window, acts),
+                ))
+                for port in (comp.port_name(i), comp.fake_port_name(i),
+                             comp.done_port_name(i)):
+                    src = _ch_place(comp.inputs.get(port))
+                    if src is not None:
+                        graph.connect(src, place.name)
+                graph.connect(place.name, queue.name)
+            graph.units.append(UnitModel(
+                name=comp.name,
+                depth=comp.queue.depth,
+                physical_depth=comp.queue.physical_depth,
+                window=comp.reorder_window,
+                validations_per_cycle=comp.validations_per_cycle,
+                ports=[
+                    PortModel(
+                        kind=cfg.kind, phase=cfg.phase, domain=cfg.domain,
+                        activations=per_unit_acts.get((comp.name, i)),
+                    )
+                    for i, cfg in enumerate(comp.ports)
+                ],
+            ))
+            continue
+
+        if isinstance(comp, LoadStoreQueue):
+            # Group allocation over-subscribes transiently: each group's
+            # acceptance is checked against one start-of-cycle reserved
+            # count, so k groups firing in one cycle can land
+            # sum(n) - max(n) entries past the depth before backpressure
+            # re-engages.  That slack is part of the structural capacity.
+            load_counts = [g.n_loads for g in comp.groups] or [0]
+            store_counts = [g.n_stores for g in comp.groups] or [0]
+            ld_budget, st_budget = lsq_budgets.get(
+                getattr(comp, "array", ""), (total, total)
+            )
+            loads = graph.add(Place(
+                f"lsq:{comp.name}:loads", "lsq", comp.name,
+                comp.depth_loads + sum(load_counts) - max(load_counts),
+                ld_budget,
+            ))
+            stores = graph.add(Place(
+                f"lsq:{comp.name}:stores", "lsq", comp.name,
+                comp.depth_stores + sum(store_counts) - max(store_counts),
+                st_budget,
+            ))
+            for port, ch in in_chs:
+                src = _ch_place(ch)
+                if src is not None:
+                    dst = stores.name if port.startswith("st") else loads.name
+                    graph.connect(src, dst)
+            for port, ch in out_chs:
+                dst = _ch_place(ch)
+                if dst is not None:
+                    graph.connect(loads.name, dst)
+            continue
+
+        if _is_buffer(comp):
+            _, capacity = comp.perf_model()
+            place = graph.add(Place(
+                f"buf:{comp.name}", "buffer", comp.name, capacity, None,
+            ))
+            for _, ch in in_chs:
+                src = _ch_place(ch)
+                if src is not None:
+                    graph.connect(src, place.name)
+            for _, ch in out_chs:
+                dst = _ch_place(ch)
+                if dst is not None:
+                    graph.connect(place.name, dst)
+            continue
+
+        # Transform-only component: tokens pass straight through.
+        for _, in_ch in in_chs:
+            for _, out_ch in out_chs:
+                src, dst = _ch_place(in_ch), _ch_place(out_ch)
+                if src is not None and dst is not None:
+                    graph.connect(src, dst)
+        if not in_chs and out_chs:
+            # Source component (entry control, constant generator):
+            # its output channels are where tokens enter the graph.
+            for _, out_ch in out_chs:
+                src = _ch_place(out_ch)
+                if src is not None and src in graph.places:
+                    graph.sources.append(src)
+
+    return graph

@@ -1,0 +1,221 @@
+"""Premature-queue occupancy claims under an explicit acceptance policy.
+
+The premature queue is the one place the generic interpreter cannot
+bound from structure alone: its architectural backpressure
+(``is_full``) has *liveness escapes* that deliberately admit records
+past the architectural depth, and whether those escapes can reach the
+physical slack is a property of the acceptance **policy**, not of the
+graph.  This module models that policy as a small transition system and
+derives, per unit:
+
+* a sound upper bound on queue occupancy (``QueueClaim.bound``,
+  ``None`` = no finite bound derivable);
+* whether a physical-slack overflow is reachable (PV502);
+* whether a retirement-stall cycle exists in the abstract transition
+  graph — an accepted entry that no transition can ever retire (PV503).
+
+The policy is read off the implemented arbiter
+(:class:`repro.prevv.unit.PreVVUnit` class flags) so the model tracks
+the code; the PV502 regression test re-runs the model with
+:data:`PRE_FIX` to prove the checker flags the pre-fix circuit, and the
+mutation tests drop ``phase_handoff`` to prove PV504 catches a wrong
+transfer function.
+
+Phase-handoff hazard, concretely: with two loop nests mapped to phases
+``0`` and ``1`` of one unit, the memory controller grants phase-1
+premature loads as soon as their address tokens arrive — before the
+arbiter has seen any phase-1 *real* op — so ``_port_version_bound``
+pins the conservative last-known version and the queue head (a phase-0
+store awaiting validation) becomes version-blocked.  Pre-fix, the only
+full-queue escape admitted the position-watermark port; every earlier-
+phase record admitted while the head stayed blocked burned physical
+slack, so the reachable occupancy is ``depth`` plus the reorder-buffer
+reserve plus *all* earlier-phase records.  Post-fix the version-release
+escape drains the blockage and the physical reservation guard caps any
+admission at ``physical_depth``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ...prevv.unit import PreVVUnit
+
+
+@dataclass(frozen=True)
+class ArbiterPolicy:
+    """Acceptance-policy features of the full-queue path.
+
+    ``phase_handoff``: the transfer function models the cross-phase
+    handoff transition at all (dropping it is the sanctioned sabotage
+    for the PV504 mutation test — the model then believes only the
+    architectural depth plus one in-flight record per real port is
+    reachable).
+    """
+
+    version_release: bool = True
+    physical_guard: bool = True
+    phase_handoff: bool = True
+
+    @classmethod
+    def implemented(cls) -> "ArbiterPolicy":
+        """The policy the simulator actually implements, read off the
+        arbiter's class flags so model and code cannot drift silently."""
+        return cls(
+            version_release=PreVVUnit.FULL_QUEUE_VERSION_RELEASE,
+            physical_guard=PreVVUnit.FULL_QUEUE_PHYSICAL_GUARD,
+            phase_handoff=True,
+        )
+
+
+#: The acceptance policy before the cross-phase backpressure fix:
+#: watermark-only escape, no physical reservation guard.
+PRE_FIX = ArbiterPolicy(version_release=False, physical_guard=False)
+
+
+@dataclass(frozen=True)
+class PortModel:
+    kind: str                    # "load" | "store"
+    phase: int
+    domain: int
+    activations: Optional[int]   # static record budget (None = unbounded)
+
+
+@dataclass(frozen=True)
+class UnitModel:
+    name: str
+    depth: int
+    physical_depth: int
+    window: int
+    validations_per_cycle: int
+    ports: List[PortModel] = field(default_factory=list)
+
+    @property
+    def pending_reserve(self) -> int:
+        """Records that can sit pulled-but-unaccepted in reorder buffers."""
+        return sum(
+            min(self.window, p.activations)
+            if p.activations is not None
+            else self.window
+            for p in self.ports
+        )
+
+
+@dataclass(frozen=True)
+class StallFinding:
+    """A retirement-stall cycle in the abstract transition graph."""
+
+    unit: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class QueueClaim:
+    unit: str
+    depth: int
+    physical_depth: int
+    bound: Optional[int]         # sound occupancy upper bound (None = top)
+    overflow_reachable: bool     # PV502: bound exceeds physical slack
+    detail: str
+
+
+def _handoff_hazard(unit: UnitModel) -> Optional[int]:
+    """Earlier-phase record mass if a cross-phase handoff can block
+    retirement, else ``None`` (no hazard).
+
+    The hazard needs (a) at least two distinct phases on one unit, so a
+    later-phase premature grant can pin ``_port_version_bound`` while
+    the head belongs to an earlier phase, and (b) enough earlier-phase
+    records to fill the architectural depth while the head is blocked.
+    Returns the total earlier-phase record budget (the slack burn), with
+    ``-1`` encoding "unbounded".
+    """
+    phases = sorted({p.phase for p in unit.ports})
+    if len(phases) < 2:
+        return None
+    last_phase = phases[-1]
+    burn = 0
+    for p in unit.ports:
+        if p.phase >= last_phase:
+            continue
+        if p.activations is None:
+            return -1
+        burn += p.activations
+    if not burn:
+        return None
+    if burn < unit.depth:
+        return None  # cannot even fill the architectural depth
+    return burn
+
+
+def claim_for_unit(
+    unit: UnitModel, policy: Optional[ArbiterPolicy] = None
+) -> "tuple[QueueClaim, Optional[StallFinding]]":
+    """Derive the occupancy claim and any liveness finding for one unit."""
+    policy = policy or ArbiterPolicy.implemented()
+
+    if not policy.phase_handoff:
+        # Sabotaged transfer function: pretends the queue never admits
+        # past depth except one in-flight record per real port.  Unsound
+        # on any cross-phase kernel — exactly what PV504 must catch.
+        bound = unit.depth + len(unit.ports)
+        return (
+            QueueClaim(
+                unit.name, unit.depth, unit.physical_depth, bound,
+                bound > unit.physical_depth,
+                "no phase-handoff transition modeled",
+            ),
+            None,
+        )
+
+    if policy.version_release and policy.physical_guard:
+        # Implemented policy.  The reservation guard is an inductive
+        # invariant: an escape admission requires
+        #   occupancy + pending_real + n_ports <= physical_depth
+        # and at most one record per port is accepted per cycle, so no
+        # admission sequence can push occupancy past physical_depth.
+        # The version-release escape drains version-blocked heads, so
+        # no retirement-stall cycle exists.
+        return (
+            QueueClaim(
+                unit.name, unit.depth, unit.physical_depth,
+                unit.physical_depth, False,
+                "physical reservation guard bounds escape admissions",
+            ),
+            None,
+        )
+
+    # Pre-fix policy: watermark-only escape, no reservation guard.
+    burn = _handoff_hazard(unit)
+    if burn is None:
+        bound = unit.depth + unit.pending_reserve + len(unit.ports)
+        return (
+            QueueClaim(
+                unit.name, unit.depth, unit.physical_depth, bound,
+                bound > unit.physical_depth,
+                "single-phase unit: watermark escape suffices",
+            ),
+            None,
+        )
+
+    stall = StallFinding(
+        unit.name,
+        "cross-phase handoff: later-phase premature grants pin "
+        "_port_version_bound while the head awaits validation; the "
+        "watermark-only escape cannot release the version block, so "
+        "retirement stalls with entries in the queue",
+    )
+    if burn < 0:
+        bound: Optional[int] = None
+    else:
+        bound = unit.depth + unit.pending_reserve + burn
+    overflow = bound is None or bound > unit.physical_depth
+    return (
+        QueueClaim(
+            unit.name, unit.depth, unit.physical_depth, bound, overflow,
+            "earlier-phase records admitted past a version-blocked head "
+            "burn physical slack",
+        ),
+        stall,
+    )

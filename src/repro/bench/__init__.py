@@ -531,6 +531,89 @@ def run_perf_sweep(quick: bool = True, jobs: int = 1,
     }
 
 
+# ----------------------------------------------------------------------
+# PVBound occupancy sweep: ``python -m repro.bench --occupancy``
+# ----------------------------------------------------------------------
+#: Configuration axis for the occupancy sweep: the paper's grid plus the
+#: shallow prevv4 point, where the cross-phase full-queue escapes are
+#: actually exercised and the policy model earns its keep.
+OCCUPANCY_CONFIG_NAMES = (
+    "dynamatic", "fast_lsq", "prevv16", "prevv64", "prevv4",
+)
+
+
+def _occupancy_worker(args):
+    kname, config, sizes, max_cycles = args
+    from ..analysis.occupancy import compare, measure_kernel
+
+    prediction, measurement = measure_kernel(
+        kname, config, sizes=sizes, max_cycles=max_cycles
+    )
+    checks = [rec.to_dict() for rec in compare(prediction, measurement)]
+    return {
+        "kernel": kname,
+        "config": config.name,
+        "cycles": measurement.cycles,
+        "places": len(prediction.bounds),
+        "unbounded": sum(
+            1 for b in prediction.bounds.values() if b is None
+        ),
+        "overflow_units": prediction.overflow_units,
+        "stalls": [s.unit for s in prediction.stalls],
+        "checks": checks,
+        "divergences": sum(1 for c in checks if not c["ok"]),
+    }
+
+
+def run_occupancy_sweep(quick: bool = True, jobs: int = 1,
+                        kernels: Optional[Sequence[str]] = None,
+                        configs: Optional[Sequence[str]] = None,
+                        max_cycles: int = 2_000_000) -> Dict:
+    """Cross-validate the PVBound occupancy bounds over the full grid.
+
+    Every point pairs each static occupancy upper bound with the peak
+    the sampled run actually reached and counts divergences — a nonzero
+    count means the transfer function is unsound (the PV504 condition).
+    A statically reachable overflow or retirement stall (PV502/PV503)
+    also fails the sweep: the committed kernels are all supposed to be
+    proven safe.  Covers every registered kernel: soundness has no
+    reason to sample.
+    """
+    from ..kernels import kernel_names
+
+    knames = list(kernels or kernel_names())
+    grid_configs = [
+        _sanitize_config(name)
+        for name in (configs or OCCUPANCY_CONFIG_NAMES)
+    ]
+    work = [
+        (kname, cfg, QUICK_SIZES.get(kname) if quick else None, max_cycles)
+        for kname in knames
+        for cfg in grid_configs
+    ]
+    started = time.perf_counter()
+    if jobs > 1 and len(work) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+            points: List[Dict] = list(pool.map(_occupancy_worker, work))
+    else:
+        points = [_occupancy_worker(w) for w in work]
+    divergences = sum(p["divergences"] for p in points)
+    unsafe = sum(
+        1 for p in points if p["overflow_units"] or p["stalls"]
+    )
+    return {
+        "bench": "occupancy",
+        "quick": quick,
+        "configs": [c.name for c in grid_configs],
+        "total_wall_s": round(time.perf_counter() - started, 3),
+        "points": points,
+        "divergences": divergences,
+        "unsafe_points": unsafe,
+    }
+
+
 def time_table2(quick: bool = True) -> Dict:
     """Time a full single-process ``table2`` run (compile + simulate).
 
@@ -674,9 +757,55 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "instead of the timing grid; non-zero exit when "
                         "any static II bound exceeds its measured "
                         "counterpart")
+    parser.add_argument("--occupancy", action="store_true",
+                        help="run the PVBound occupancy sweep instead "
+                        "of the timing grid; non-zero exit when any "
+                        "measured peak escapes its static bound (PV504) "
+                        "or a committed kernel is statically unsafe "
+                        "(PV502/PV503)")
     opts = parser.parse_args(argv)
 
     configs = opts.configs.split(",") if opts.configs else None
+    if opts.occupancy:
+        result = run_occupancy_sweep(quick=opts.quick, jobs=opts.jobs,
+                                     kernels=None, configs=configs)
+        out = opts.out
+        if out == "BENCH_simulator.json":
+            out = "BENCH_occupancy.json"
+        with open(out, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        for point in result["points"]:
+            unsafe = point["overflow_units"] or point["stalls"]
+            status = "ok"
+            if point["divergences"]:
+                status = "DIVERGED"
+            elif unsafe:
+                status = "UNSAFE"
+            print(
+                f"{point['kernel']:12s} {point['config']:10s} "
+                f"{point['cycles']:>8d} cyc  {point['places']:>4d} places "
+                f"({point['unbounded']} unbounded)  "
+                f"{len(point['checks'])} checks  {status}"
+            )
+            for check in point["checks"]:
+                if not check["ok"]:
+                    print(
+                        f"    DIVERGENCE {check['kind']}: static "
+                        f"{check['static']} < measured {check['measured']} "
+                        f"({check['subject']})"
+                    )
+            for unit in point["overflow_units"]:
+                print(f"    UNSAFE overflow reachable: {unit}")
+            for unit in point["stalls"]:
+                print(f"    UNSAFE retirement stall: {unit}")
+        print(
+            f"occupancy sweep: {len(result['points'])} points, "
+            f"{result['divergences']} divergence(s), "
+            f"{result['unsafe_points']} unsafe point(s) in "
+            f"{result['total_wall_s']:.2f}s; wrote {out}"
+        )
+        return 1 if result["divergences"] or result["unsafe_points"] else 0
     if opts.perf:
         result = run_perf_sweep(quick=opts.quick, jobs=opts.jobs,
                                 kernels=None, configs=configs)

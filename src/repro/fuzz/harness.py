@@ -19,6 +19,11 @@ config it establishes a baseline with the seed worklist oracle
 * **perf-bound** — the PVPerf static lower bounds must not exceed the
   measured cycle count (:func:`repro.analysis.perf.measure.compare`,
   the PV404 invariant);
+* **occupancy-bound** — the PVBound static occupancy upper bounds must
+  cover every measured peak, and its predicted-overflow set must be a
+  superset of any observed physical overflow
+  (:func:`repro.analysis.occupancy.measure.compare`, the PV504
+  invariant);
 * **no crash** — any engine raising (deadlock, convergence failure,
   arithmetic error) is itself a finding.
 
@@ -169,6 +174,33 @@ def _check_perf_bounds(report, kernel, config, max_cycles):
             )
 
 
+def _check_occupancy_bounds(report, kernel, config, max_cycles):
+    """PVBound upper bounds vs the peak-sampling measured run.
+
+    Two obligations per point: no measured peak above its static bound
+    (or structural capacity), and predicted-overflow ⊇ observed-overflow
+    — a physical overflow the model called unreachable is a soundness
+    hole, while a predicted-but-unobserved overflow is merely
+    conservative and stays silent here (PV502 reports it statically).
+    """
+    from ..analysis.occupancy import analyze_build, measure_build
+    from ..analysis.occupancy import compare as compare_occupancy
+
+    fn = kernel.build_ir()
+    build = compile_function(fn, config, args=kernel.args)
+    prediction = analyze_build(build, fn, kernel.args)
+    build.memory.initialize(kernel.memory_init)
+    measurement = measure_build(build, max_cycles=max_cycles)
+    for record in compare_occupancy(prediction, measurement):
+        report.checks += 1
+        if not record.ok:
+            report.add(
+                config.name, "levelized", "occupancy-bound",
+                f"{record.kind}[{record.subject}]: static {record.static}"
+                f" < measured {record.measured}",
+            )
+
+
 def check_kernel(
     kernel,
     configs: Optional[Sequence[HardwareConfig]] = None,
@@ -243,6 +275,14 @@ def check_kernel(
                 _check_perf_bounds(report, kernel, config, max_cycles)
             except Exception as exc:  # noqa: BLE001
                 report.add(config.name, "perf", "crash",
+                           f"{type(exc).__name__}: {exc}")
+
+        # PVBound static occupancy bounds (peak-sampled levelized run).
+        if perf and mutate is None:
+            try:
+                _check_occupancy_bounds(report, kernel, config, max_cycles)
+            except Exception as exc:  # noqa: BLE001
+                report.add(config.name, "occupancy", "crash",
                            f"{type(exc).__name__}: {exc}")
 
     # Depth-bound soundness: if every ambiguous pair is bounded, the

@@ -245,6 +245,13 @@ class MemoryController(Component):
         return sum(len(q) for q in self._responses)
 
     @property
+    def response_occupancies(self) -> List[int]:
+        """Per-load-port response-queue occupancies, for the PVBound
+        measured path (sampled from an end-of-cycle hook — nothing on
+        the stat-free fast path pays for it)."""
+        return [len(q) for q in self._responses]
+
+    @property
     def resource_params(self):
         return {
             "n_loads": self.n_loads,

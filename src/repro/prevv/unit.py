@@ -52,6 +52,16 @@ class PreVVUnit(Component):
     """Premature-value-validation unit for one ambiguous group."""
 
     resource_class = "prevv_unit"
+    # Acceptance-policy features, keyed on by the static occupancy model
+    # (repro.analysis.occupancy) so its transition system describes the
+    # implemented arbiter and the PV502 regression test can model the
+    # pre-fix semantics by flipping them off in the *model* only.
+    #: Full-queue escape also admits version-pinning ports when the head
+    #: is position-retirable but version-blocked (cross-phase handoff).
+    FULL_QUEUE_VERSION_RELEASE = True
+    #: Escape admissions reserve enough physical slots for the records
+    #: already pulled from the ports, making slack overflow unreachable.
+    FULL_QUEUE_PHYSICAL_GUARD = True
     # Scheduling contract: the unit is a pure consumer — it has no output
     # channels at all, so no input valid can ever be carried to an output
     # valid (the valid wave terminates here) and there is no output ready
@@ -187,13 +197,66 @@ class PreVVUnit(Component):
             return True   # no queue slot needed
         if not self.queue.is_full:
             return True
-        # Full queue (Fig. 4c): the only real operation still admitted is
-        # the one holding back the retirement watermark — processing it is
-        # what lets the head entries validate and free space. Everything
-        # else stalls, which is exactly the backpressure that makes
-        # Depth_q a performance knob.
+        # Full queue (Fig. 4c): backpressure with two liveness escapes,
+        # both bounded by the physical-slot reservation guard so an
+        # admission can never push the queue past its physical capacity.
+        #
+        # Escape 1 — position-blocked head: the only real operation still
+        # admitted is the one holding back the retirement watermark;
+        # processing it is what lets the head entries validate and free
+        # space. Everything else stalls, which is exactly the
+        # backpressure that makes Depth_q a performance knob.
         no_real_pending = all(r.done or r.fake for r in pending.values())
-        return no_real_pending and port_idx == self._watermark_port()
+        if no_real_pending and port_idx == self._watermark_port():
+            return self._escape_slack_available()
+        # Escape 2 — version-blocked head (cross-phase handoff): every
+        # port's position is already past the head, but some port may
+        # still deliver an operation that *raced* the head — typically a
+        # later nest's premature load the controller granted before this
+        # arbiter saw any real op on that port, which pins
+        # _port_version_bound at the conservative value.  Admitting the
+        # watermark port cannot help (its position no longer bounds
+        # retirement; every push only burns physical slack — the
+        # queue_overflow_cross_phase_min fuzz finding).  Instead admit
+        # exactly the next expected record of each pinning port:
+        # processing it either raises that port's version bound past the
+        # head or detects the violation and squashes — both unblock
+        # retirement.
+        if self.FULL_QUEUE_VERSION_RELEASE:
+            head = self.queue.peek_head()
+            if (
+                head is not None
+                and head.version is not None
+                and (head.phase, head.iteration) < self._watermark()
+                and record.iteration == self._expected[port_idx]
+                and self._port_version_bound(port_idx) < head.version
+            ):
+                return self._escape_slack_available()
+        return False
+
+    def _escape_slack_available(self) -> bool:
+        """Room for a full-queue escape admission in the physical slots.
+
+        Every real record currently pending in a reorder window will be
+        pushed without any further channel acceptance, and at most one
+        real record per port can be accepted this cycle; reserving both
+        keeps next cycle's occupancy at or below the physical depth, so
+        :class:`QueueOverflowError` is structurally unreachable.  Healthy
+        runs sit far below the threshold (physical depth is architectural
+        depth + (window+1)*ports + 8) and pay one comparison.
+        """
+        if not self.FULL_QUEUE_PHYSICAL_GUARD:
+            return True
+        pending_real = sum(
+            1
+            for pending in self._pending
+            for r in pending.values()
+            if not (r.done or r.fake)
+        )
+        return (
+            self.queue.occupancy + pending_real + len(self.ports)
+            <= self.queue.physical_depth
+        )
 
     def propagate(self) -> None:
         for i, ch in self._port_channels():
@@ -678,6 +741,13 @@ class PreVVUnit(Component):
         once every accepted packet has been validated and retired.
         """
         return any(self._pending)
+
+    @property
+    def pending_occupancies(self) -> List[int]:
+        """Per-port reorder-buffer occupancies, for the PVBound
+        measured path (sampled from an end-of-cycle hook — nothing on
+        the stat-free fast path pays for it)."""
+        return [len(pending) for pending in self._pending]
 
     @property
     def resource_params(self):

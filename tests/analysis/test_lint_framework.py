@@ -16,6 +16,7 @@ from repro.analysis.lint import (
     register_pass,
 )
 from repro.analysis.lint.cli import main as lint_main
+from repro.analysis.lint.registry import LAYERS
 from repro.compile.passes import run_pipeline
 from repro.config import HardwareConfig
 from repro.errors import CompileError
@@ -112,9 +113,9 @@ class TestLintReport:
 
 
 class TestRegistry:
-    def test_all_passes_cover_five_layers(self):
+    def test_all_passes_cover_every_layer(self):
         layers = {p.layer for p in all_passes()}
-        assert layers == {"ir", "circuit", "prevv", "sanitize", "perf"}
+        assert layers == set(LAYERS)
 
     def test_every_declared_code_exists(self):
         declared = {c for p in all_passes() for c in p.codes}
@@ -227,8 +228,11 @@ class TestCli:
             json.loads(line)
             for line in capsys.readouterr().out.splitlines() if line
         ]
-        assert lines, "clean prevv lint still reports INFO diagnostics"
-        for record in lines:
+        assert lines[0].get("meta") == "lint-run"
+        assert set(lines[0]["armed_layers"]) == set(LAYERS)
+        records = [r for r in lines if "meta" not in r]
+        assert records, "clean prevv lint still reports INFO diagnostics"
+        for record in records:
             assert record["subject"] == "fig2b[prevv]"
             assert {"code", "severity", "message", "pass"} <= set(record)
 

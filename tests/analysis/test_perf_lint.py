@@ -22,8 +22,9 @@ PERF_PASSES = {
 # Registration
 # ----------------------------------------------------------------------
 class TestRegistration:
-    def test_perf_is_the_last_layer(self):
-        assert LAYERS[-1] == "perf"
+    def test_perf_runs_after_the_core_layers(self):
+        assert LAYERS.index("perf") == len(LAYERS) - 2
+        assert LAYERS[-1] == "occupancy"
 
     def test_pv4xx_codes_exist_with_expected_severities(self):
         for code in ("PV401", "PV402", "PV403"):
@@ -93,7 +94,9 @@ class TestCli:
         lint_main(args)
         second = capsys.readouterr().out
         assert first == second
-        records = [json.loads(ln) for ln in first.splitlines() if ln]
+        lines = [json.loads(ln) for ln in first.splitlines() if ln]
+        assert lines[0].get("meta") == "lint-run"  # run metadata first
+        records = [r for r in lines if "meta" not in r]
         keys = [
             (r["subject"], r["code"], r["location"], r["message"], r["pass"])
             for r in records
